@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestSpark(t *testing.T) {
+	if got := spark(nil); got != "" {
+		t.Errorf("empty spark = %q", got)
+	}
+	if got := spark([]float64{1, 1, 1}); got != "▁▁▁" {
+		t.Errorf("flat spark = %q, want lowest level", got)
+	}
+	got := spark([]float64{0, 1})
+	if got != "▁█" {
+		t.Errorf("ramp spark = %q, want ▁█", got)
+	}
+	// Monotone input gives non-decreasing levels.
+	s := spark([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone input produced non-monotone spark %q", s)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	out := downsample(in, 4)
+	want := []float64{1.5, 3.5, 5.5, 7.5}
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// No-op when already small enough.
+	same := downsample(in, 100)
+	if len(same) != len(in) {
+		t.Error("short input should pass through")
+	}
+	if got := downsample(in, 0); len(got) != len(in) {
+		t.Error("n<1 should pass through")
+	}
+}

@@ -1,0 +1,70 @@
+// Command qosd serves a replication-based QoS flash array over TCP — the
+// storage-cloud deployment the paper motivates. Clients submit block reads
+// with a line protocol (see internal/qosnet) and receive admission
+// outcomes and guaranteed response times.
+//
+// Usage:
+//
+//	qosd -addr :7331 -n 9 -c 3 -m 1
+//	printf 'READ 42\nSTATS\nQUIT\n' | nc localhost 7331
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"flashqos/internal/core"
+	"flashqos/internal/qosnet"
+	"flashqos/internal/sampling"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7331", "listen address")
+		n       = flag.Int("n", 9, "flash modules")
+		c       = flag.Int("c", 3, "replicas per bucket")
+		m       = flag.Int("m", 1, "access guarantee target M")
+		epsilon = flag.Float64("epsilon", 0, "statistical QoS threshold (0 = deterministic)")
+		table   = flag.String("table", "", "cached probability table (from qostable) for statistical QoS")
+	)
+	flag.Parse()
+
+	cfg := core.Config{N: *n, C: *c, M: *m, Epsilon: *epsilon}
+	if *table != "" {
+		f, err := os.Open(*table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab, err := sampling.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Table = tab
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := qosnet.NewServer(sys)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qosd: (%d,%d,1) design, M=%d, S=%d, epsilon=%g, listening on %s\n",
+		*n, *c, *m, sys.S(), *epsilon, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("qosd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+}

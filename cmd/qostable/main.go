@@ -1,0 +1,64 @@
+// Command qostable builds the optimal-retrieval probability table (Fig 4)
+// for a design and caches it as JSON, so statistical-QoS deployments skip
+// the Monte-Carlo pass at startup (qosd can load it, and repeated
+// experiments share it).
+//
+// Usage:
+//
+//	qostable -n 9 -c 3 -trials 100000 -o table-9-3.json
+//	qostable -n 13 -c 3 | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"flashqos/internal/decluster"
+	"flashqos/internal/design"
+	"flashqos/internal/sampling"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 9, "devices")
+		c      = flag.Int("c", 3, "copies")
+		maxK   = flag.Int("maxk", 0, "largest request size (default 2N+S(1))")
+		trials = flag.Int("trials", 50000, "Monte-Carlo trials per size")
+		seed   = flag.Int64("seed", 1, "RNG seed")
+		out    = flag.String("o", "-", "output file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	d, err := design.ForParams(*n, *c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := decluster.NewDesignTheoretic(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxK == 0 {
+		*maxK = 2*d.N + d.S(1)
+	}
+	tab, err := sampling.Estimate(alloc, sampling.Options{MaxK: *maxK, Trials: *trials, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tab.Save(w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sampled %s: P up to k=%d at %d trials (P[S+1]=%.4f, P[N]=%.4f)\n",
+		d, *maxK, *trials, tab.At(d.S(1)+1), tab.At(d.N))
+}

@@ -1,0 +1,89 @@
+// Command tracegen generates I/O traces in the repository's ASCII format:
+// the paper's synthetic batch workload (§V-B1) or the Exchange-like /
+// TPC-E-like server workloads (§V-B2 substitutes).
+//
+// Usage:
+//
+//	tracegen -kind synthetic -blocks 14 -interval 0.266 -requests 10000 > t.trace
+//	tracegen -kind exchange -scale 0.1 -o exchange.trace
+//	tracegen -kind tpce -seed 7 -o tpce.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flashqos/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "synthetic", "synthetic | exchange | tpce")
+		out      = flag.String("o", "-", "output file ('-' = stdout)")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		scale    = flag.Float64("scale", 1.0, "server-trace scale factor")
+		interval = flag.Float64("interval", 0.133, "synthetic: batch interval (ms)")
+		blocks   = flag.Int("blocks", 5, "synthetic: blocks per interval")
+		requests = flag.Int("requests", 10000, "synthetic: total requests")
+		pool     = flag.Int("pool", 36, "synthetic: bucket pool size")
+		stats    = flag.Bool("stats", false, "print per-interval statistics instead of records")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch *kind {
+	case "synthetic":
+		tr, err = trace.Synthetic(trace.SyntheticConfig{
+			IntervalMS:        *interval,
+			BlocksPerInterval: *blocks,
+			TotalRequests:     *requests,
+			PoolSize:          *pool,
+			Seed:              *seed,
+		})
+	case "exchange":
+		tr, err = trace.ExchangeLike(*seed, *scale)
+	case "tpce":
+		tr, err = trace.TPCELike(*seed, *scale)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		for _, s := range tr.Stats() {
+			fmt.Printf("%4d %9d total %10.1f avg/s %10.1f max/s\n", s.Interval, s.Total, s.AvgPerSec, s.MaxPerSec)
+		}
+		reads := 0
+		blocks := map[int64]bool{}
+		for _, r := range tr.Records {
+			if !r.Write {
+				reads++
+			}
+			blocks[r.Block] = true
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d records (%d reads), %d distinct blocks, %d intervals\n",
+			tr.Name, len(tr.Records), reads, len(blocks), tr.NumIntervals())
+		return
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d records, %d intervals\n", tr.Name, len(tr.Records), tr.NumIntervals())
+}

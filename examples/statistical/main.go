@@ -1,0 +1,56 @@
+// Statistical: the paper's Fig 10 scenario — tuning ε trades delayed
+// requests against response time. ε = 0 is the deterministic guarantee
+// (everything over capacity is delayed); larger ε admits conflicting
+// requests, cutting delays at the cost of queueing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+	"flashqos/internal/sampling"
+	"flashqos/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "workload seed")
+	scale := flag.Float64("scale", 0.05, "trace scale")
+	flag.Parse()
+
+	tr, err := trace.ExchangeLike(*seed, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := design.Paper931()
+
+	// Sample the optimal-retrieval probabilities of the design once
+	// (the paper's Fig 4 table) and share across ε runs.
+	base, err := core.New(core.Config{Design: d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := sampling.Estimate(base.Allocator(), sampling.Options{
+		MaxK: 2*d.N + base.S(), Trials: 10000, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sampled optimal-retrieval probabilities (Fig 4):")
+	for k := base.S(); k <= d.N+1; k++ {
+		fmt.Printf("  P[%2d] = %.3f\n", k, table.At(k))
+	}
+
+	fmt.Printf("\n%8s %12s %16s\n", "epsilon", "delayed %", "avg response ms")
+	for _, eps := range []float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01} {
+		sys, err := core.New(core.Config{Design: d, Epsilon: eps, Table: table})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := sys.ReplayTrace(tr)
+		fmt.Printf("%8.4f %11.2f%% %16.6f\n", eps, rep.DelayedPct, rep.AvgResponse)
+	}
+	fmt.Println("\ntrend (paper Fig 10): delayed% falls and response time rises with epsilon")
+}

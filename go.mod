@@ -1,0 +1,3 @@
+module flashqos
+
+go 1.22

@@ -1,0 +1,292 @@
+// Package admission implements the paper's two admission-control
+// mechanisms (§III-A, §III-B):
+//
+//   - Deterministic: at most S = (c-1)M² + cM block requests are admitted
+//     per interval; excess requests are rejected or delayed to the next
+//     available interval. Every admitted set is guaranteed retrievable in M
+//     accesses.
+//   - Statistical: request sets larger than S are admitted as long as the
+//     estimated probability Q that an interval's requests cannot be
+//     retrieved optimally stays below a user threshold ε, where
+//     Q = Σ_k (1 - P_k)·R_k with P_k the sampled optimal-retrieval
+//     probabilities and R_k = N_k / N_t the observed frequency of
+//     request-size-k intervals.
+//
+// An application-level registry mirrors the worked example in Table I:
+// applications declare a per-period request size and are admitted while
+// the total stays within S.
+package admission
+
+import (
+	"fmt"
+
+	"flashqos/internal/sampling"
+)
+
+// Policy selects what happens to requests that cannot be admitted.
+type Policy int
+
+const (
+	// Delay moves excess requests to the next available interval (the
+	// paper's choice: "canceling the requests may effect the running state
+	// of applications, we choose the delay option").
+	Delay Policy = iota
+	// Reject drops excess requests.
+	Reject
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Delay:
+		return "delay"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Decision reports the outcome of admitting one interval's request set.
+type Decision struct {
+	Requested int // requests presented this interval (incl. carried backlog)
+	Accepted  int // requests admitted for retrieval in this interval
+	Overflow  int // requests delayed (Policy Delay) or dropped (Policy Reject)
+}
+
+// Deterministic is the deterministic admission controller: accept at most
+// S requests per interval.
+type Deterministic struct {
+	S       int
+	Policy  Policy
+	backlog int // delayed requests carried to the next interval
+	// Cumulative accounting.
+	totalRequested, totalAccepted, totalOverflow int64
+}
+
+// NewDeterministic creates a deterministic controller with limit S.
+func NewDeterministic(s int, p Policy) (*Deterministic, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("admission: S must be >= 1, got %d", s)
+	}
+	return &Deterministic{S: s, Policy: p}, nil
+}
+
+// Backlog returns the number of delayed requests waiting for the next
+// interval.
+func (d *Deterministic) Backlog() int { return d.backlog }
+
+// AdmitInterval presents k new requests for the current interval. Any
+// backlog from earlier intervals is served first (FCFS). The decision
+// reports how many requests retrieve now and how many are delayed/dropped.
+func (d *Deterministic) AdmitInterval(k int) Decision {
+	if k < 0 {
+		panic(fmt.Sprintf("admission: negative request count %d", k))
+	}
+	total := k + d.backlog
+	acc := total
+	if acc > d.S {
+		acc = d.S
+	}
+	over := total - acc
+	if d.Policy == Delay {
+		d.backlog = over
+	} else {
+		d.backlog = 0
+	}
+	d.totalRequested += int64(k)
+	d.totalAccepted += int64(acc)
+	d.totalOverflow += int64(over)
+	return Decision{Requested: total, Accepted: acc, Overflow: over}
+}
+
+// Stats returns cumulative (requested, accepted, overflow) counts. With
+// Policy Delay a request may be counted in overflow several times if it
+// waits multiple intervals.
+func (d *Deterministic) Stats() (requested, accepted, overflow int64) {
+	return d.totalRequested, d.totalAccepted, d.totalOverflow
+}
+
+// Statistical is the statistical admission controller of §III-B2.
+type Statistical struct {
+	S       int
+	Epsilon float64
+	Policy  Policy
+	table   *sampling.Table
+	nk      []int64 // nk[k] = intervals observed with (admitted) size k
+	nt      int64   // total intervals observed
+	backlog int
+}
+
+// NewStatistical creates a statistical controller. table supplies the
+// sampled P_k values; epsilon is the acceptable probability that an
+// interval's admitted requests are not optimally retrievable. epsilon = 0
+// reduces to deterministic behaviour.
+func NewStatistical(s int, epsilon float64, table *sampling.Table, p Policy) (*Statistical, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("admission: S must be >= 1, got %d", s)
+	}
+	if epsilon < 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("admission: epsilon must be in [0,1), got %g", epsilon)
+	}
+	if table == nil {
+		return nil, fmt.Errorf("admission: nil probability table")
+	}
+	return &Statistical{S: s, Epsilon: epsilon, Policy: p, table: table, nk: make([]int64, table.MaxK()+1)}, nil
+}
+
+// Backlog returns the number of delayed requests waiting.
+func (s *Statistical) Backlog() int { return s.backlog }
+
+// Q returns the current estimate of the probability that an interval's
+// requests cannot be retrieved optimally: Σ_k (1-P_k)·N_k/N_t.
+func (s *Statistical) Q() float64 {
+	return s.qWith(-1)
+}
+
+// qWith computes Q with a hypothetical extra interval of size k (k < 0
+// means none).
+func (s *Statistical) qWith(k int) float64 {
+	nt := s.nt
+	if k >= 0 {
+		nt++
+	}
+	if nt == 0 {
+		return 0
+	}
+	q := 0.0
+	for i, n := range s.nk {
+		cnt := n
+		if i == s.idx(k) && k >= 0 {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		q += (1 - s.table.At(i)) * float64(cnt) / float64(nt)
+	}
+	// A hypothetical size beyond the table still contributes via At's
+	// extrapolation when k exceeds MaxK.
+	if k > s.table.MaxK() {
+		q += (1 - s.table.At(k)) * 1 / float64(nt)
+	}
+	return q
+}
+
+// idx clamps an interval size to the counter range.
+func (s *Statistical) idx(k int) int {
+	if k < 0 {
+		return -1
+	}
+	if k > s.table.MaxK() {
+		return s.table.MaxK()
+	}
+	return k
+}
+
+// record notes that an interval retrieved k requests.
+func (s *Statistical) record(k int) {
+	s.nk[s.idx(k)]++
+	s.nt++
+}
+
+// AdmitInterval presents k new requests. Sizes within S are always
+// admitted; a larger size is admitted in full only if doing so keeps
+// Q < ε, otherwise S requests are admitted and the rest delayed or
+// rejected per policy.
+func (s *Statistical) AdmitInterval(k int) Decision {
+	if k < 0 {
+		panic(fmt.Sprintf("admission: negative request count %d", k))
+	}
+	total := k + s.backlog
+	var acc int
+	switch {
+	case total <= s.S:
+		acc = total
+	case s.qWith(total) < s.Epsilon:
+		acc = total
+	default:
+		acc = s.S
+	}
+	over := total - acc
+	if s.Policy == Delay {
+		s.backlog = over
+	} else {
+		s.backlog = 0
+	}
+	s.record(acc)
+	return Decision{Requested: total, Accepted: acc, Overflow: over}
+}
+
+// Intervals returns the number of intervals observed so far.
+func (s *Statistical) Intervals() int64 { return s.nt }
+
+// WouldAdmit reports whether an interval of size k would be admitted in
+// full right now: k within S, or Q (including the hypothetical interval)
+// below ε. It does not change controller state; pair with RecordInterval.
+func (s *Statistical) WouldAdmit(k int) bool {
+	if k <= s.S {
+		return true
+	}
+	return s.qWith(k) < s.Epsilon
+}
+
+// RecordInterval notes that an interval completed with k admitted requests.
+// Used by online replay, where interval sizes are known only once the
+// interval's time window has passed.
+func (s *Statistical) RecordInterval(k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("admission: negative interval size %d", k))
+	}
+	s.record(k)
+}
+
+// --- Application registry (worked example of Table I) ---
+
+// Registry tracks per-application per-period request-size reservations
+// against the deterministic limit S.
+type Registry struct {
+	S     int
+	apps  map[string]int
+	total int
+}
+
+// NewRegistry creates a registry with limit S.
+func NewRegistry(s int) (*Registry, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("admission: S must be >= 1, got %d", s)
+	}
+	return &Registry{S: s, apps: make(map[string]int)}, nil
+}
+
+// Admit registers an application reserving `size` block requests per
+// period. It fails if the application already exists, size is invalid, or
+// the limit would be exceeded.
+func (r *Registry) Admit(name string, size int) error {
+	if size < 1 {
+		return fmt.Errorf("admission: application %q request size must be >= 1", name)
+	}
+	if _, ok := r.apps[name]; ok {
+		return fmt.Errorf("admission: application %q already admitted", name)
+	}
+	if r.total+size > r.S {
+		return fmt.Errorf("admission: rejecting %q: %d + %d exceeds limit %d", name, r.total, size, r.S)
+	}
+	r.apps[name] = size
+	r.total += size
+	return nil
+}
+
+// Leave removes an application, releasing its reservation.
+func (r *Registry) Leave(name string) {
+	if size, ok := r.apps[name]; ok {
+		delete(r.apps, name)
+		r.total -= size
+	}
+}
+
+// Total returns the current total reserved request size.
+func (r *Registry) Total() int { return r.total }
+
+// Size returns an application's reservation (0 if absent).
+func (r *Registry) Size(name string) int { return r.apps[name] }

@@ -1,0 +1,277 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashqos/internal/sampling"
+)
+
+func TestDeterministicBasic(t *testing.T) {
+	d, err := NewDeterministic(5, Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := d.AdmitInterval(3)
+	if dec.Accepted != 3 || dec.Overflow != 0 {
+		t.Errorf("under limit: %+v", dec)
+	}
+	dec = d.AdmitInterval(7)
+	if dec.Accepted != 5 || dec.Overflow != 2 {
+		t.Errorf("over limit: %+v", dec)
+	}
+	if d.Backlog() != 2 {
+		t.Errorf("backlog = %d, want 2", d.Backlog())
+	}
+	// Backlog served first next interval.
+	dec = d.AdmitInterval(4)
+	if dec.Requested != 6 || dec.Accepted != 5 || dec.Overflow != 1 {
+		t.Errorf("backlog handling: %+v", dec)
+	}
+}
+
+func TestDeterministicReject(t *testing.T) {
+	d, _ := NewDeterministic(5, Reject)
+	dec := d.AdmitInterval(9)
+	if dec.Accepted != 5 || dec.Overflow != 4 {
+		t.Errorf("reject: %+v", dec)
+	}
+	if d.Backlog() != 0 {
+		t.Error("reject policy must not carry backlog")
+	}
+	req, acc, over := d.Stats()
+	if req != 9 || acc != 5 || over != 4 {
+		t.Errorf("stats = %d/%d/%d", req, acc, over)
+	}
+}
+
+func TestDeterministicValidation(t *testing.T) {
+	if _, err := NewDeterministic(0, Delay); err == nil {
+		t.Error("S=0 should fail")
+	}
+	d, _ := NewDeterministic(1, Delay)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative k should panic")
+		}
+	}()
+	d.AdmitInterval(-1)
+}
+
+// TestTableIScenario walks the paper's Table I example: S = 5 (M=1 on the
+// (9,3,1) design). App1 size 2 at T0, App2 size 2 at T1, App3 size 1 at T2
+// fills the system; a fourth application must be rejected.
+func TestTableIScenario(t *testing.T) {
+	r, err := NewRegistry(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Admit("app1", 2); err != nil {
+		t.Fatalf("app1: %v", err)
+	}
+	if err := r.Admit("app2", 2); err != nil {
+		t.Fatalf("app2: %v", err)
+	}
+	if r.Total() != 4 {
+		t.Errorf("total = %d, want 4", r.Total())
+	}
+	if err := r.Admit("app3", 1); err != nil {
+		t.Fatalf("app3: %v", err)
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d, want 5 (the limit)", r.Total())
+	}
+	if err := r.Admit("app4", 1); err == nil {
+		t.Error("app4 should be rejected: system full")
+	}
+	// After an application leaves, capacity frees up.
+	r.Leave("app1")
+	if r.Total() != 3 {
+		t.Errorf("total after leave = %d, want 3", r.Total())
+	}
+	if err := r.Admit("app4", 2); err != nil {
+		t.Errorf("app4 after leave: %v", err)
+	}
+}
+
+func TestRegistryEdgeCases(t *testing.T) {
+	r, _ := NewRegistry(5)
+	if err := r.Admit("a", 0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if err := r.Admit("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Admit("a", 1); err == nil {
+		t.Error("duplicate admit should fail")
+	}
+	if r.Size("a") != 2 || r.Size("zzz") != 0 {
+		t.Error("Size lookup wrong")
+	}
+	r.Leave("nonexistent") // must not panic or corrupt
+	if r.Total() != 2 {
+		t.Error("Leave of unknown app changed total")
+	}
+}
+
+func testTable() *sampling.Table {
+	// Synthetic P_k resembling Fig 4 for (9,3,1).
+	return &sampling.Table{N: 9, P: []float64{1, 1, 1, 1, 1, 1, 0.99, 0.98, 0.95, 0.75, 1, 1, 1}}
+}
+
+func TestStatisticalWithinSAlwaysAdmits(t *testing.T) {
+	s, err := NewStatistical(5, 0.01, testTable(), Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		dec := s.AdmitInterval(5)
+		if dec.Accepted != 5 || dec.Overflow != 0 {
+			t.Fatalf("interval %d: %+v", i, dec)
+		}
+	}
+	if s.Q() != 0 {
+		t.Errorf("Q = %g, want 0 when all intervals within S", s.Q())
+	}
+}
+
+func TestStatisticalAdmitsBeyondS(t *testing.T) {
+	// With a loose epsilon, sizes 6-8 should be admitted (P_k high).
+	s, _ := NewStatistical(5, 0.10, testTable(), Delay)
+	dec := s.AdmitInterval(7)
+	if dec.Accepted != 7 {
+		t.Errorf("epsilon=0.10 should admit size 7: %+v", dec)
+	}
+}
+
+func TestStatisticalRejectsWhenQTooHigh(t *testing.T) {
+	// Epsilon tighter than (1-P9)=0.25 of a size-9 interval: first size-9
+	// interval would push Q to 0.25 > ε, so only S admitted.
+	s, _ := NewStatistical(5, 0.05, testTable(), Delay)
+	dec := s.AdmitInterval(9)
+	if dec.Accepted != 5 || dec.Overflow != 4 {
+		t.Errorf("should clamp to S: %+v", dec)
+	}
+	if s.Backlog() != 4 {
+		t.Errorf("backlog = %d, want 4", s.Backlog())
+	}
+}
+
+func TestStatisticalQAveragesOverHistory(t *testing.T) {
+	// Many size-5 intervals dilute R_k, letting an occasional size-9
+	// through under a moderate epsilon.
+	s, _ := NewStatistical(5, 0.01, testTable(), Reject)
+	for i := 0; i < 99; i++ {
+		s.AdmitInterval(5)
+	}
+	// Hypothetical size-9 interval: Q = 0.25 * 1/100 = 0.0025 < 0.01.
+	dec := s.AdmitInterval(9)
+	if dec.Accepted != 9 {
+		t.Errorf("diluted history should admit size 9: %+v (Q=%g)", dec, s.Q())
+	}
+	if s.Intervals() != 100 {
+		t.Errorf("intervals = %d, want 100", s.Intervals())
+	}
+}
+
+func TestStatisticalEpsilonZeroIsDeterministic(t *testing.T) {
+	s, _ := NewStatistical(5, 0, testTable(), Reject)
+	for _, k := range []int{6, 9, 12} {
+		dec := s.AdmitInterval(k)
+		if dec.Accepted != 5 {
+			t.Errorf("epsilon=0 admitted %d of %d, want 5", dec.Accepted, k)
+		}
+	}
+}
+
+func TestStatisticalValidation(t *testing.T) {
+	tb := testTable()
+	if _, err := NewStatistical(0, 0.1, tb, Delay); err == nil {
+		t.Error("S=0 should fail")
+	}
+	if _, err := NewStatistical(5, -0.1, tb, Delay); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if _, err := NewStatistical(5, 1.0, tb, Delay); err == nil {
+		t.Error("epsilon=1 should fail")
+	}
+	if _, err := NewStatistical(5, 0.1, nil, Delay); err == nil {
+		t.Error("nil table should fail")
+	}
+}
+
+func TestStatisticalSizeBeyondTable(t *testing.T) {
+	s, _ := NewStatistical(5, 0.5, testTable(), Reject)
+	// Size way beyond the table uses the extrapolated last value (P=1),
+	// so Q contribution is 0 and it should be admitted under loose epsilon.
+	dec := s.AdmitInterval(50)
+	if dec.Accepted != 50 {
+		t.Errorf("size beyond table: %+v", dec)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Delay.String() != "delay" || Reject.String() != "reject" {
+		t.Error("Policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should still format")
+	}
+}
+
+// Property: deterministic controller never admits more than S and
+// conserves requests (accepted + overflow == requested).
+func TestQuickDeterministicConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 1 + rng.Intn(20)
+		d, _ := NewDeterministic(s, Policy(rng.Intn(2)))
+		for i := 0; i < 50; i++ {
+			k := rng.Intn(3 * s)
+			dec := d.AdmitInterval(k)
+			if dec.Accepted > s || dec.Accepted+dec.Overflow != dec.Requested {
+				return false
+			}
+			if dec.Requested < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: statistical controller with epsilon e admits a superset of
+// what the deterministic controller admits, and Q stays below max(e, Q of
+// the same history clamped at S contributions).
+func TestQuickStatisticalDominatesDeterministic(t *testing.T) {
+	tb := testTable()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := rng.Float64() * 0.5
+		st, _ := NewStatistical(5, e, tb, Reject)
+		de, _ := NewDeterministic(5, Reject)
+		for i := 0; i < 50; i++ {
+			k := rng.Intn(12)
+			ds := st.AdmitInterval(k)
+			dd := de.AdmitInterval(k)
+			if ds.Accepted < dd.Accepted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStatisticalAdmit(b *testing.B) {
+	s, _ := NewStatistical(5, 0.05, testTable(), Delay)
+	for i := 0; i < b.N; i++ {
+		s.AdmitInterval(i % 12)
+	}
+}

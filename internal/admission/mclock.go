@@ -1,0 +1,161 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+)
+
+// MClock is a proportional-share I/O scheduler in the style of mClock
+// (Gulati et al., OSDI 2010) — the scheduler family that commodity storage
+// QoS ships instead of the paper's admission-control approach. Each tenant
+// has a reservation (minimum IOPS), a limit (maximum IOPS) and a weight
+// (share of the surplus). Requests are tagged with virtual times and the
+// scheduler dispatches, at each service opportunity, first any request
+// needed to honour reservations, then the lowest weight-tag request whose
+// tenant is under its limit.
+//
+// It is included as a baseline: mClock shapes *rates* but gives no
+// per-request latency guarantee, which is exactly the gap the paper's
+// design-theoretic admission fills. The comparison experiment
+// (experiments.AblationMClock) makes that concrete.
+type MClock struct {
+	tenants map[string]*mcTenant
+	// virtual service capacity, requests per ms
+	capacity float64
+}
+
+type mcTenant struct {
+	name        string
+	reservation float64 // requests/ms guaranteed
+	limit       float64 // requests/ms cap (0 = unlimited)
+	weight      float64
+
+	rTag, lTag, pTag float64 // next reservation/limit/proportional tags
+	queue            []mcReq
+	served           int64
+}
+
+type mcReq struct {
+	id      int64
+	arrival float64
+}
+
+// NewMClock creates a scheduler with the given aggregate service capacity
+// in requests per millisecond.
+func NewMClock(capacity float64) (*MClock, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("admission: mclock capacity must be positive")
+	}
+	return &MClock{tenants: make(map[string]*mcTenant), capacity: capacity}, nil
+}
+
+// AddTenant registers a tenant. reservation and limit are in requests/ms
+// (limit 0 = unlimited); weight > 0.
+func (m *MClock) AddTenant(name string, reservation, limit, weight float64) error {
+	if _, ok := m.tenants[name]; ok {
+		return fmt.Errorf("admission: tenant %q exists", name)
+	}
+	if reservation < 0 || limit < 0 || weight <= 0 {
+		return fmt.Errorf("admission: bad tenant parameters")
+	}
+	if limit > 0 && limit < reservation {
+		return fmt.Errorf("admission: limit below reservation")
+	}
+	total := reservation
+	for _, t := range m.tenants {
+		total += t.reservation
+	}
+	if total > m.capacity {
+		return fmt.Errorf("admission: reservations %.3f exceed capacity %.3f", total, m.capacity)
+	}
+	m.tenants[name] = &mcTenant{name: name, reservation: reservation, limit: limit, weight: weight}
+	return nil
+}
+
+// Submit enqueues a request from a tenant at the given time.
+func (m *MClock) Submit(name string, id int64, at float64) error {
+	t, ok := m.tenants[name]
+	if !ok {
+		return fmt.Errorf("admission: unknown tenant %q", name)
+	}
+	// Tag assignment (mClock): tags advance by 1/rate per request, reset
+	// to now when the tenant was idle.
+	if t.reservation > 0 {
+		t.rTag = math.Max(t.rTag+1/t.reservation, at)
+	}
+	if t.limit > 0 {
+		t.lTag = math.Max(t.lTag+1/t.limit, at)
+	}
+	t.pTag = math.Max(t.pTag+1/t.weight, at)
+	t.queue = append(t.queue, mcReq{id: id, arrival: at})
+	return nil
+}
+
+// Dispatch picks the next request to serve at time now, honouring
+// reservations first, then proportional share among tenants under their
+// limits. Returns the tenant, request id and true; or false when all
+// queues are empty or every backlogged tenant is over its limit.
+func (m *MClock) Dispatch(now float64) (string, int64, bool) {
+	// Phase 1: any tenant behind on its reservation (rTag <= now).
+	var bestR *mcTenant
+	for _, t := range m.tenants {
+		if len(t.queue) == 0 || t.reservation == 0 {
+			continue
+		}
+		due := t.rTag - float64(len(t.queue)-1)/t.reservation // tag of HEAD request
+		if due <= now && (bestR == nil || due < bestR.rTag-float64(len(bestR.queue)-1)/bestR.reservation) {
+			bestR = t
+		}
+	}
+	if bestR != nil {
+		id := bestR.queue[0].id
+		return m.serve(bestR), id, true
+	}
+	// Phase 2: lowest proportional tag among tenants under their limit.
+	var bestP *mcTenant
+	bestTag := math.Inf(1)
+	for _, t := range m.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if t.limit > 0 {
+			headLimitTag := t.lTag - float64(len(t.queue)-1)/t.limit
+			if headLimitTag > now {
+				continue // over limit
+			}
+		}
+		headPTag := t.pTag - float64(len(t.queue)-1)/t.weight
+		if headPTag < bestTag {
+			bestTag = headPTag
+			bestP = t
+		}
+	}
+	if bestP != nil {
+		id := bestP.queue[0].id
+		return m.serve(bestP), id, true
+	}
+	return "", 0, false
+}
+
+// serve pops the head request of a tenant.
+func (m *MClock) serve(t *mcTenant) string {
+	t.queue = t.queue[1:]
+	t.served++
+	return t.name
+}
+
+// Served returns the number of requests served for a tenant.
+func (m *MClock) Served(name string) int64 {
+	if t, ok := m.tenants[name]; ok {
+		return t.served
+	}
+	return 0
+}
+
+// Backlogged returns the queued request count for a tenant.
+func (m *MClock) Backlogged(name string) int {
+	if t, ok := m.tenants[name]; ok {
+		return len(t.queue)
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+)
+
+// A minimal QoS system: submit reads, observe the guarantee.
+func ExampleSystem_submit() {
+	sys, err := core.New(core.Config{Design: design.Paper931()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("admission limit S:", sys.S())
+	out := sys.Submit(0, 42)
+	fmt.Printf("response %.6f ms, delayed=%v\n", out.Response(), out.Delayed)
+	// Output:
+	// admission limit S: 5
+	// response 0.132507 ms, delayed=false
+}
+
+// Over-capacity requests are delayed to the next interval.
+func ExampleSystem_delay() {
+	sys, _ := core.New(core.Config{Design: design.Paper931()})
+	for i := int64(0); i < 5; i++ {
+		sys.Submit(0, i*7)
+	}
+	out := sys.Submit(0, 99) // sixth concurrent request: S = 5 exhausted
+	fmt.Printf("delayed=%v to t=%.3f ms\n", out.Delayed, out.Admitted)
+	// Output:
+	// delayed=true to t=0.133 ms
+}

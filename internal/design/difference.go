@@ -1,0 +1,160 @@
+package design
+
+import "fmt"
+
+// DifferenceFamily searches for a cyclic (v, k, 1) difference family over
+// Z_v: a set of base blocks of size k whose pairwise differences cover
+// every nonzero residue exactly once. Translating each base block through
+// Z_v yields a (v, k, 1) design. Existence requires v ≡ 1 (mod k(k-1));
+// the backtracking search is practical for the small parameters used for
+// storage arrays (v up to ~50 for k = 4, 5).
+//
+// The k = 3 case is served by the specialised Heffter construction in
+// HeffterSTS; this general search also covers k = 4 (e.g. (25,4,1),
+// (37,4,1)) and k = 5 (e.g. (41,5,1)).
+func DifferenceFamily(v, k int) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: difference family needs k >= 2", ErrNoConstruction)
+	}
+	if (v-1)%(k*(k-1)) != 0 {
+		return nil, fmt.Errorf("%w: (%d,%d,1) difference family needs v ≡ 1 mod k(k-1)", ErrNoConstruction, v, k)
+	}
+	numBlocks := (v - 1) / (k * (k - 1))
+	usedDiff := make([]bool, v) // usedDiff[d] for d and v-d set together
+	blocks := make([][]int, 0, numBlocks)
+
+	markBlock := func(blk []int, on bool) bool {
+		// Mark (or unmark) all pairwise differences; fail on collision.
+		var touched []int
+		for i := 0; i < len(blk); i++ {
+			for j := i + 1; j < len(blk); j++ {
+				d := blk[j] - blk[i]
+				if d < 0 {
+					d += v
+				}
+				if d > v/2 {
+					d = v - d
+				}
+				if on {
+					if usedDiff[d] {
+						for _, t := range touched {
+							usedDiff[t] = false
+						}
+						return false
+					}
+					usedDiff[d] = true
+					touched = append(touched, d)
+				} else {
+					usedDiff[d] = false
+				}
+			}
+		}
+		return true
+	}
+
+	var extend func(blk []int, minNext int) bool
+	var solve func() bool
+	solve = func() bool {
+		if len(blocks) == numBlocks {
+			return true
+		}
+		// Anchor each base block at 0 with its second element the smallest
+		// unused difference (canonical form prunes symmetric branches).
+		small := 0
+		for d := 1; d <= v/2; d++ {
+			if !usedDiff[d] {
+				small = d
+				break
+			}
+		}
+		if small == 0 {
+			return false
+		}
+		return extend([]int{0, small}, small+1)
+	}
+	extend = func(blk []int, minNext int) bool {
+		if len(blk) == k {
+			if !markBlock(blk, true) {
+				return false
+			}
+			cp := make([]int, k)
+			copy(cp, blk)
+			blocks = append(blocks, cp)
+			if solve() {
+				return true
+			}
+			blocks = blocks[:len(blocks)-1]
+			markBlock(blk, false)
+			return false
+		}
+		for x := minNext; x < v; x++ {
+			// Quick pairwise-difference pre-check against current block.
+			ok := true
+			for _, y := range blk {
+				d := x - y
+				if d < 0 {
+					d += v
+				}
+				if d > v/2 {
+					d = v - d
+				}
+				if d == 0 || usedDiff[d] {
+					ok = false
+					break
+				}
+			}
+			// Also check differences within the candidate prefix.
+			if ok {
+				seen := map[int]bool{}
+				cand := append(append([]int{}, blk...), x)
+				for i := 0; i < len(cand) && ok; i++ {
+					for j := i + 1; j < len(cand); j++ {
+						d := cand[j] - cand[i]
+						if d < 0 {
+							d += v
+						}
+						if d > v/2 {
+							d = v - d
+						}
+						if seen[d] {
+							ok = false
+							break
+						}
+						seen[d] = true
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			if extend(append(blk, x), x+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if !solve() {
+		return nil, fmt.Errorf("%w: no (%d,%d,1) difference family found", ErrNoConstruction, v, k)
+	}
+	return blocks, nil
+}
+
+// CyclicDesign builds a (v, k, 1) design from a difference family by
+// translating every base block through Z_v.
+func CyclicDesign(v, k int) (*Design, error) {
+	bases, err := DifferenceFamily(v, k)
+	if err != nil {
+		return nil, err
+	}
+	var blocks [][]int
+	for _, base := range bases {
+		for s := 0; s < v; s++ {
+			blk := make([]int, k)
+			for i, x := range base {
+				blk[i] = (x + s) % v
+			}
+			blocks = append(blocks, blk)
+		}
+	}
+	return &Design{N: v, C: k, Lambda: 1, Blocks: blocks, Name: fmt.Sprintf("cyclic difference family (%d,%d,1)", v, k)}, nil
+}

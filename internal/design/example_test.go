@@ -1,0 +1,46 @@
+package design_test
+
+import (
+	"fmt"
+
+	"flashqos/internal/design"
+)
+
+// Building the paper's (9,3,1) design and reading off its guarantees.
+func ExamplePaper931() {
+	d := design.Paper931()
+	fmt.Println(d)
+	fmt.Printf("S(1)=%d S(2)=%d S(3)=%d buckets=%d\n", d.S(1), d.S(2), d.S(3), d.MaxBuckets())
+	fmt.Println("valid:", d.Verify() == nil)
+	// Output:
+	// (9,3,1) design [paper (9,3,1)], 12 blocks
+	// S(1)=5 S(2)=14 S(3)=27 buckets=36
+	// valid: true
+}
+
+// Choosing a design for a device/copy count.
+func ExampleForParams() {
+	d, err := design.ForParams(13, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("(%d,%d,%d) with %d blocks\n", d.N, d.C, d.Lambda, len(d.Blocks))
+	// Output:
+	// (13,3,1) with 26 blocks
+}
+
+// Expanding a design into replica placements via rotations.
+func ExampleDesign_Rotations() {
+	d := design.Paper931()
+	rows := d.Rotations()
+	fmt.Println("bucket 0 replicas:", rows[0])
+	fmt.Println("bucket 1 replicas:", rows[1])
+	fmt.Println("bucket 12 replicas:", rows[12], "(block 0 rotated)")
+	fmt.Println("total buckets:", len(rows))
+	// Output:
+	// bucket 0 replicas: [0 1 2]
+	// bucket 1 replicas: [0 3 6]
+	// bucket 12 replicas: [1 2 0] (block 0 rotated)
+	// total buckets: 36
+}

@@ -1,0 +1,89 @@
+package design
+
+import (
+	"fmt"
+
+	"flashqos/internal/gf"
+)
+
+// AffinePlane constructs AG(2, q), a (q², q, 1) design, for a prime power
+// q: points are the q² pairs (x, y) over GF(q); blocks are the q²+q lines
+// y = m·x + b and x = c. AG(2,3) is the paper's (9,3,1) design (up to
+// isomorphism). Affine planes are resolvable: the lines partition into q+1
+// parallel classes.
+func AffinePlane(q int) (*Design, error) {
+	f, err := gf.NewOrder(q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: AffinePlane needs prime-power order: %v", ErrNoConstruction, err)
+	}
+	point := func(x, y int) int { return x*q + y }
+	var blocks [][]int
+	// Sloped lines y = m x + b.
+	for m := 0; m < q; m++ {
+		for b := 0; b < q; b++ {
+			line := make([]int, 0, q)
+			for x := 0; x < q; x++ {
+				y := f.Add(f.Mul(m, x), b)
+				line = append(line, point(x, y))
+			}
+			blocks = append(blocks, line)
+		}
+	}
+	// Vertical lines x = c.
+	for c := 0; c < q; c++ {
+		line := make([]int, 0, q)
+		for y := 0; y < q; y++ {
+			line = append(line, point(c, y))
+		}
+		blocks = append(blocks, line)
+	}
+	return &Design{N: q * q, C: q, Lambda: 1, Blocks: blocks, Name: fmt.Sprintf("AG(2,%d)", q)}, nil
+}
+
+// ProjectivePlane constructs PG(2, q), a (q²+q+1, q+1, 1) design, for a
+// prime power q. Points are the 1-dimensional subspaces of GF(q)³,
+// represented by normalized homogeneous coordinates; lines are the
+// 2-dimensional subspaces. PG(2,3) yields the (13,4,1) design; PG(2,2) the
+// Fano plane (7,3,1).
+func ProjectivePlane(q int) (*Design, error) {
+	f, err := gf.NewOrder(q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ProjectivePlane needs prime-power order: %v", ErrNoConstruction, err)
+	}
+	// Normalized point representatives: (1, a, b), (0, 1, a), (0, 0, 1).
+	type vec [3]int
+	var pts []vec
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			pts = append(pts, vec{1, a, b})
+		}
+	}
+	for a := 0; a < q; a++ {
+		pts = append(pts, vec{0, 1, a})
+	}
+	pts = append(pts, vec{0, 0, 1})
+	index := make(map[vec]int, len(pts))
+	for i, p := range pts {
+		index[p] = i
+	}
+	dot := func(u, v vec) int {
+		s := 0
+		for i := 0; i < 3; i++ {
+			s = f.Add(s, f.Mul(u[i], v[i]))
+		}
+		return s
+	}
+	// Lines are indexed by the same normalized representatives (duality):
+	// line L consists of points P with <L, P> = 0.
+	var blocks [][]int
+	for _, l := range pts {
+		var line []int
+		for _, p := range pts {
+			if dot(l, p) == 0 {
+				line = append(line, index[p])
+			}
+		}
+		blocks = append(blocks, line)
+	}
+	return &Design{N: q*q + q + 1, C: q + 1, Lambda: 1, Blocks: blocks, Name: fmt.Sprintf("PG(2,%d)", q)}, nil
+}

@@ -1,0 +1,233 @@
+package design
+
+import (
+	"fmt"
+
+	"flashqos/internal/gf"
+)
+
+// Resolvability: a design is resolvable when its blocks partition into
+// parallel classes, each class covering every point exactly once. For QoS
+// scheduling a parallel class is a perfect stripe — one access round that
+// touches every device once — so resolvable designs (affine planes,
+// Kirkman systems) give particularly regular layouts.
+
+// ParallelClasses partitions the design's blocks into parallel classes by
+// backtracking exact cover. It returns the classes as slices of block
+// indices, or an error if the design is not resolvable. Practical for the
+// design sizes used here (tens of blocks).
+func ParallelClasses(d *Design) ([][]int, error) {
+	if d.N%d.C != 0 {
+		return nil, fmt.Errorf("design: (%d,%d) cannot be resolvable: block size does not divide points", d.N, d.C)
+	}
+	blocksPerClass := d.N / d.C
+	numClasses := len(d.Blocks) / blocksPerClass
+	if numClasses*blocksPerClass != len(d.Blocks) {
+		return nil, fmt.Errorf("design: %d blocks do not fill classes of %d", len(d.Blocks), blocksPerClass)
+	}
+	used := make([]bool, len(d.Blocks))
+	var classes [][]int
+
+	// buildClass extends the current class (blocks covering `covered`).
+	var buildClass func(class []int, covered uint64, minBlock int) bool
+	var solve func() bool
+	solve = func() bool {
+		if len(classes) == numClasses {
+			return true
+		}
+		// Anchor each class on the lowest-indexed unused block to avoid
+		// permutation blowup.
+		anchor := -1
+		for i, u := range used {
+			if !u {
+				anchor = i
+				break
+			}
+		}
+		if anchor < 0 {
+			return false
+		}
+		used[anchor] = true
+		var cov uint64
+		for _, p := range d.Blocks[anchor] {
+			cov |= 1 << uint(p)
+		}
+		if buildClass([]int{anchor}, cov, anchor+1) {
+			return true
+		}
+		used[anchor] = false
+		return false
+	}
+	buildClass = func(class []int, covered uint64, minBlock int) bool {
+		if len(class) == blocksPerClass {
+			cp := make([]int, len(class))
+			copy(cp, class)
+			classes = append(classes, cp)
+			if solve() {
+				return true
+			}
+			classes = classes[:len(classes)-1]
+			return false
+		}
+		for i := minBlock; i < len(d.Blocks); i++ {
+			if used[i] {
+				continue
+			}
+			var mask uint64
+			ok := true
+			for _, p := range d.Blocks[i] {
+				b := uint64(1) << uint(p)
+				if covered&b != 0 {
+					ok = false
+					break
+				}
+				mask |= b
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			if buildClass(append(class, i), covered|mask, i+1) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	if d.N > 63 {
+		return nil, fmt.Errorf("design: resolvability search supports up to 63 points, got %d", d.N)
+	}
+	if !solve() {
+		return nil, fmt.Errorf("design: %s is not resolvable", d)
+	}
+	return classes, nil
+}
+
+// VerifyResolution checks that the given classes form a resolution of the
+// design: every block used exactly once, every class covering each point
+// exactly once.
+func VerifyResolution(d *Design, classes [][]int) error {
+	seen := make([]bool, len(d.Blocks))
+	for ci, class := range classes {
+		cover := make([]int, d.N)
+		for _, bi := range class {
+			if bi < 0 || bi >= len(d.Blocks) {
+				return fmt.Errorf("design: class %d references block %d", ci, bi)
+			}
+			if seen[bi] {
+				return fmt.Errorf("design: block %d in two classes", bi)
+			}
+			seen[bi] = true
+			for _, p := range d.Blocks[bi] {
+				cover[p]++
+			}
+		}
+		for p, c := range cover {
+			if c != 1 {
+				return fmt.Errorf("design: class %d covers point %d %d times", ci, p, c)
+			}
+		}
+	}
+	for bi, s := range seen {
+		if !s {
+			return fmt.Errorf("design: block %d in no class", bi)
+		}
+	}
+	return nil
+}
+
+// MOLS returns a complete set of n-1 mutually orthogonal Latin squares of
+// order n for a prime power n, built from the field: L_a(i,j) = a·i + j
+// for each nonzero a. Squares are indexed [square][row][col].
+func MOLS(n int) ([][][]int, error) {
+	f, err := gf.NewOrder(n)
+	if err != nil {
+		return nil, fmt.Errorf("design: MOLS needs prime-power order: %w", err)
+	}
+	out := make([][][]int, 0, n-1)
+	for a := 1; a < n; a++ {
+		sq := make([][]int, n)
+		for i := 0; i < n; i++ {
+			sq[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				sq[i][j] = f.Add(f.Mul(a, i), j)
+			}
+		}
+		out = append(out, sq)
+	}
+	return out, nil
+}
+
+// VerifyMOLS checks that every square is Latin and every pair of squares is
+// orthogonal (superimposing them yields each ordered pair exactly once).
+func VerifyMOLS(squares [][][]int) error {
+	if len(squares) == 0 {
+		return fmt.Errorf("design: no squares")
+	}
+	n := len(squares[0])
+	for si, sq := range squares {
+		if len(sq) != n {
+			return fmt.Errorf("design: square %d wrong size", si)
+		}
+		for i := 0; i < n; i++ {
+			rowSeen := make([]bool, n)
+			colSeen := make([]bool, n)
+			for j := 0; j < n; j++ {
+				r, c := sq[i][j], sq[j][i]
+				if r < 0 || r >= n || rowSeen[r] {
+					return fmt.Errorf("design: square %d row %d not Latin", si, i)
+				}
+				if c < 0 || c >= n || colSeen[c] {
+					return fmt.Errorf("design: square %d col %d not Latin", si, i)
+				}
+				rowSeen[r] = true
+				colSeen[c] = true
+			}
+		}
+	}
+	for a := 0; a < len(squares); a++ {
+		for b := a + 1; b < len(squares); b++ {
+			seen := make(map[[2]int]bool, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					key := [2]int{squares[a][i][j], squares[b][i][j]}
+					if seen[key] {
+						return fmt.Errorf("design: squares %d,%d not orthogonal (pair %v repeats)", a, b, key)
+					}
+					seen[key] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Kirkman15 returns a resolvable (15,3,1) design — a solution to Kirkman's
+// schoolgirl problem — with its seven parallel classes (days). Useful as a
+// 15-device layout whose access rounds stripe perfectly.
+func Kirkman15() (*Design, [][]int) {
+	// Classic solution; girls 0..14, 7 days x 5 triples.
+	days := [][][]int{
+		{{0, 5, 10}, {1, 6, 11}, {2, 7, 12}, {3, 8, 13}, {4, 9, 14}},
+		{{0, 1, 4}, {2, 3, 6}, {7, 8, 11}, {9, 10, 13}, {12, 14, 5}},
+		{{1, 2, 5}, {3, 4, 7}, {8, 9, 12}, {10, 11, 14}, {13, 0, 6}},
+		{{4, 5, 8}, {6, 7, 10}, {11, 12, 0}, {13, 14, 2}, {1, 3, 9}},
+		{{2, 4, 10}, {3, 5, 11}, {6, 8, 14}, {7, 9, 0}, {12, 13, 1}},
+		{{4, 6, 12}, {5, 7, 13}, {8, 10, 1}, {9, 11, 2}, {14, 0, 3}},
+		{{10, 12, 3}, {11, 13, 4}, {14, 1, 7}, {0, 2, 8}, {5, 6, 9}},
+	}
+	var blocks [][]int
+	var classes [][]int
+	idx := 0
+	for _, day := range days {
+		var class []int
+		for _, triple := range day {
+			blocks = append(blocks, triple)
+			class = append(class, idx)
+			idx++
+		}
+		classes = append(classes, class)
+	}
+	d := &Design{N: 15, C: 3, Lambda: 1, Blocks: blocks, Name: "Kirkman KTS(15)"}
+	return d, classes
+}

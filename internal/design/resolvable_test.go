@@ -1,0 +1,136 @@
+package design
+
+import "testing"
+
+func TestAffinePlaneIsResolvable(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5} {
+		d, err := AffinePlane(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes, err := ParallelClasses(d)
+		if err != nil {
+			t.Fatalf("AG(2,%d): %v", q, err)
+		}
+		if len(classes) != q+1 {
+			t.Errorf("AG(2,%d): %d classes, want %d", q, len(classes), q+1)
+		}
+		if err := VerifyResolution(d, classes); err != nil {
+			t.Errorf("AG(2,%d): %v", q, err)
+		}
+	}
+}
+
+func TestPaper931Resolvable(t *testing.T) {
+	// The paper's (9,3,1) is AG(2,3), hence resolvable into 4 classes.
+	d := Paper931()
+	classes, err := ParallelClasses(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 4 {
+		t.Errorf("got %d classes, want 4", len(classes))
+	}
+	if err := VerifyResolution(d, classes); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFanoNotResolvable(t *testing.T) {
+	// PG(2,2) has 7 points, block size 3: 3 does not divide 7.
+	d, err := ProjectivePlane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParallelClasses(d); err == nil {
+		t.Error("Fano plane should not be resolvable")
+	}
+}
+
+func TestParallelClassesRejectsLargeN(t *testing.T) {
+	d := &Design{N: 64, C: 8, Lambda: 1}
+	if _, err := ParallelClasses(d); err == nil {
+		t.Error("N > 63 should be rejected")
+	}
+}
+
+func TestVerifyResolutionCatchesErrors(t *testing.T) {
+	d := Paper931()
+	classes, err := ParallelClasses(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate block across classes.
+	bad := make([][]int, len(classes))
+	for i := range classes {
+		bad[i] = append([]int{}, classes[i]...)
+	}
+	bad[1][0] = bad[0][0]
+	if VerifyResolution(d, bad) == nil {
+		t.Error("duplicated block not caught")
+	}
+	// Out-of-range block.
+	bad[1][0] = 99
+	if VerifyResolution(d, bad) == nil {
+		t.Error("out-of-range block not caught")
+	}
+}
+
+func TestMOLS(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 9} {
+		squares, err := MOLS(n)
+		if err != nil {
+			t.Fatalf("MOLS(%d): %v", n, err)
+		}
+		if len(squares) != n-1 {
+			t.Errorf("MOLS(%d): %d squares, want %d (complete set)", n, len(squares), n-1)
+		}
+		if err := VerifyMOLS(squares); err != nil {
+			t.Errorf("MOLS(%d): %v", n, err)
+		}
+	}
+	if _, err := MOLS(6); err == nil {
+		t.Error("MOLS(6) should fail (not a prime power; famously none of order 6)")
+	}
+}
+
+func TestVerifyMOLSCatchesBadSquares(t *testing.T) {
+	if VerifyMOLS(nil) == nil {
+		t.Error("empty set should fail")
+	}
+	// Non-Latin square.
+	bad := [][][]int{{{0, 0}, {1, 1}}}
+	if VerifyMOLS(bad) == nil {
+		t.Error("non-Latin square not caught")
+	}
+	// Two identical squares are not orthogonal.
+	sq := [][]int{{0, 1}, {1, 0}}
+	if VerifyMOLS([][][]int{sq, sq}) == nil {
+		t.Error("non-orthogonal pair not caught")
+	}
+}
+
+func TestKirkman15(t *testing.T) {
+	d, classes := Kirkman15()
+	if err := d.Verify(); err != nil {
+		t.Fatalf("KTS(15) invalid as a (15,3,1) design: %v", err)
+	}
+	if len(classes) != 7 {
+		t.Errorf("got %d days, want 7", len(classes))
+	}
+	if err := VerifyResolution(d, classes); err != nil {
+		t.Errorf("KTS(15) resolution invalid: %v", err)
+	}
+	if d.S(1) != 5 || d.MaxBuckets() != 105 {
+		t.Errorf("KTS(15) parameters: S(1)=%d buckets=%d", d.S(1), d.MaxBuckets())
+	}
+}
+
+func BenchmarkParallelClasses931(b *testing.B) {
+	d := Paper931()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelClasses(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

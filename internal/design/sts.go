@@ -1,0 +1,117 @@
+package design
+
+import "fmt"
+
+// BoseSTS constructs a Steiner triple system STS(v) — a (v, 3, 1) design —
+// for v ≡ 3 (mod 6) using the Bose construction: points are pairs (x, j)
+// with x in Z_q (q = v/3, odd) and j in {0,1,2}; the blocks are the
+// "vertical" triples {(x,0),(x,1),(x,2)} and, for every unordered pair
+// x ≠ y, the triple {(x,j),(y,j),((x+y)/2, j+1)}.
+func BoseSTS(v int) (*Design, error) {
+	if v%6 != 3 || v < 3 {
+		return nil, fmt.Errorf("%w: BoseSTS requires v ≡ 3 (mod 6), got %d", ErrNoConstruction, v)
+	}
+	q := v / 3 // odd, so 2 is invertible mod q
+	half := (q + 1) / 2
+	point := func(x, j int) int { return j*q + x }
+
+	var blocks [][]int
+	for x := 0; x < q; x++ {
+		blocks = append(blocks, []int{point(x, 0), point(x, 1), point(x, 2)})
+	}
+	for x := 0; x < q; x++ {
+		for y := x + 1; y < q; y++ {
+			mid := (x + y) * half % q // (x+y)/2 in Z_q
+			for j := 0; j < 3; j++ {
+				blocks = append(blocks, []int{point(x, j), point(y, j), point(mid, (j+1)%3)})
+			}
+		}
+	}
+	return &Design{N: v, C: 3, Lambda: 1, Blocks: blocks, Name: fmt.Sprintf("Bose STS(%d)", v)}, nil
+}
+
+// heffterTriples partitions {1, ..., 3t} into t triples {x, y, z} such that
+// x + y = z or x + y + z = v (v = 6t+1). These "Heffter difference triples"
+// yield base blocks of a cyclic STS(v). Returns nil if no partition exists
+// (none is known to be missing for v ≡ 1 mod 6, v >= 7).
+func heffterTriples(v int) [][3]int {
+	t := (v - 1) / 6
+	n := 3 * t
+	used := make([]bool, n+1)
+	triples := make([][3]int, 0, t)
+
+	var solve func() bool
+	solve = func() bool {
+		if len(triples) == t {
+			return true
+		}
+		// Smallest unused element anchors the next triple.
+		x := 0
+		for i := 1; i <= n; i++ {
+			if !used[i] {
+				x = i
+				break
+			}
+		}
+		used[x] = true
+		for y := x + 1; y <= n; y++ {
+			if used[y] {
+				continue
+			}
+			for _, z := range [2]int{x + y, v - x - y} {
+				if z <= y || z > n || used[z] {
+					continue
+				}
+				used[y], used[z] = true, true
+				triples = append(triples, [3]int{x, y, z})
+				if solve() {
+					return true
+				}
+				triples = triples[:len(triples)-1]
+				used[y], used[z] = false, false
+			}
+		}
+		used[x] = false
+		return false
+	}
+	if !solve() {
+		return nil
+	}
+	return triples
+}
+
+// HeffterSTS constructs a cyclic Steiner triple system STS(v) for
+// v ≡ 1 (mod 6) from a difference family derived from Heffter difference
+// triples: each triple (x, y, z) gives the base block {0, x, x+y}, and the
+// v translates of the base blocks modulo v form the design. The (13,3,1)
+// design the paper uses for the TPC-E experiments is produced this way.
+func HeffterSTS(v int) (*Design, error) {
+	if v%6 != 1 || v < 7 {
+		return nil, fmt.Errorf("%w: HeffterSTS requires v ≡ 1 (mod 6), v >= 7, got %d", ErrNoConstruction, v)
+	}
+	triples := heffterTriples(v)
+	if triples == nil {
+		return nil, fmt.Errorf("%w: no Heffter triple partition for v=%d", ErrNoConstruction, v)
+	}
+	var blocks [][]int
+	for _, tr := range triples {
+		base := [3]int{0, tr[0], tr[0] + tr[1]}
+		for s := 0; s < v; s++ {
+			blocks = append(blocks, []int{(base[0] + s) % v, (base[1] + s) % v, (base[2] + s) % v})
+		}
+	}
+	return &Design{N: v, C: 3, Lambda: 1, Blocks: blocks, Name: fmt.Sprintf("cyclic STS(%d)", v)}, nil
+}
+
+// STS constructs a Steiner triple system on v points for any admissible
+// v ≡ 1 or 3 (mod 6), choosing the appropriate construction.
+func STS(v int) (*Design, error) {
+	switch {
+	case v%6 == 3:
+		return BoseSTS(v)
+	case v%6 == 1:
+		return HeffterSTS(v)
+	default:
+		return nil, fmt.Errorf("%w: STS(v) exists only for v ≡ 1,3 (mod 6), got %d", ErrNoConstruction, v)
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"math"
+
+	"flashqos/internal/core"
+	"flashqos/internal/decluster"
+	"flashqos/internal/design"
+	"flashqos/internal/maxflow"
+	"flashqos/internal/retrieval"
+	"flashqos/internal/stats"
+)
+
+// GuaranteeRow compares the closed-form guarantees of design-theoretic and
+// orthogonal allocation for one request size (paper §II-B3).
+type GuaranteeRow struct {
+	Buckets        int
+	DesignAccesses int // smallest M with (c-1)M²+cM >= b, c = 2
+	OrthAccesses   int // ⌈√b⌉
+}
+
+// GuaranteeComparison tabulates the §II-B3 argument for c = 2: design-
+// theoretic retrieves 3 buckets in 1 access, 8 in 2, 15 in 3, while
+// orthogonal needs ⌈√b⌉ = 2, 3, 4 for the same sizes.
+func GuaranteeComparison(maxBuckets int) []GuaranteeRow {
+	d := &design.Design{N: 7, C: 2, Lambda: 1} // only S(M) math is used
+	rows := make([]GuaranteeRow, 0, maxBuckets)
+	for b := 1; b <= maxBuckets; b++ {
+		rows = append(rows, GuaranteeRow{
+			Buckets:        b,
+			DesignAccesses: d.AccessesFor(b),
+			OrthAccesses:   int(math.Ceil(math.Sqrt(float64(b)))),
+		})
+	}
+	return rows
+}
+
+// QueryKind selects the query shape for the scheme ablation.
+type QueryKind int
+
+const (
+	// Arbitrary queries pick buckets uniformly at random.
+	Arbitrary QueryKind = iota
+	// Range queries pick a contiguous run of bucket numbers.
+	Range
+)
+
+// SchemeCostRow reports the retrieval cost distribution of one scheme
+// under one query shape.
+type SchemeCostRow struct {
+	Scheme  string
+	Query   QueryKind
+	Size    int
+	AvgCost float64
+	MaxCost int
+}
+
+// AblationSchemes measures average and worst observed retrieval cost for
+// every implemented declustering scheme under arbitrary and range queries
+// of the given size (N=9 devices; 2-copy orthogonal is included with its
+// own pool). This is the empirical version of the paper's §II-B2 scheme
+// discussion: design-theoretic should dominate on arbitrary queries while
+// periodic/partitioned close the gap only on range queries.
+func AblationSchemes(size, trials int, seed int64) ([]SchemeCostRow, error) {
+	dt, err := decluster.NewDesignTheoretic(design.Paper931())
+	if err != nil {
+		return nil, err
+	}
+	mir, err := decluster.NewRAID1Mirrored(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := decluster.NewRAID1Chained(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	rda, err := decluster.NewRDA(9, 3, 36, seed)
+	if err != nil {
+		return nil, err
+	}
+	part, err := decluster.NewPartitioned(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	per, err := decluster.NewDependentPeriodic(9, 3, 3)
+	if err != nil {
+		return nil, err
+	}
+	orth, err := decluster.NewOrthogonal(9)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []decluster.Allocator{dt, mir, ch, rda, part, per, orth}
+
+	rng := newRand(seed)
+	// All schemes serve the same 36-bucket pool (as in Table III); schemes
+	// with fewer placement rows wrap, which is exactly where their
+	// parallelism collapses.
+	const pool = 36
+	var rows []SchemeCostRow
+	for _, q := range []QueryKind{Arbitrary, Range} {
+		for _, a := range schemes {
+			row := SchemeCostRow{Scheme: a.Name(), Query: q, Size: size}
+			var sum stats.Summary
+			for t := 0; t < trials; t++ {
+				replicas := make([][]int, size)
+				switch q {
+				case Arbitrary:
+					perm := rng.Perm(pool)
+					for i := range replicas {
+						replicas[i] = a.Replicas(perm[i%pool])
+					}
+				case Range:
+					start := rng.Intn(pool)
+					for i := range replicas {
+						replicas[i] = a.Replicas((start + i) % pool)
+					}
+				}
+				m, _ := maxflow.MinAccesses(replicas, a.Devices())
+				sum.Add(float64(m))
+				if m > row.MaxCost {
+					row.MaxCost = m
+				}
+			}
+			row.AvgCost = sum.Mean()
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FIMAblationResult compares FIM-driven block mapping against the plain
+// modulo mapping on the same workload.
+type FIMAblationResult struct {
+	WithFIM    *core.Report
+	ModuloOnly *core.Report
+}
+
+// AblationFIM quantifies the benefit of the §IV-A mining: the same
+// workload replayed with FIM-driven remapping versus modulo-only mapping.
+// Frequently co-requested blocks that collide under modulo are separated
+// by FIM, reducing delayed requests.
+func AblationFIM(w Workload, seed int64, scale float64) (*FIMAblationResult, error) {
+	tr, err := makeTrace(w, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	d := workloadDesign(w)
+	withFIM, err := core.New(core.Config{Design: d, FIMMinSupport: 1})
+	if err != nil {
+		return nil, err
+	}
+	modOnly, err := core.New(core.Config{Design: d, DisableFIM: true})
+	if err != nil {
+		return nil, err
+	}
+	return &FIMAblationResult{
+		WithFIM:    withFIM.ReplayTrace(tr),
+		ModuloOnly: modOnly.ReplayTrace(tr),
+	}, nil
+}
+
+// MaxflowAblationRow reports how often the greedy design-theoretic
+// retrieval needed the max-flow fallback at one request size.
+type MaxflowAblationRow struct {
+	Size        int
+	FallbackPct float64 // % of trials where greedy was above the lower bound
+	GreedyAvg   float64 // average greedy accesses
+	OptimalAvg  float64 // average optimal accesses
+	GreedyWorse float64 // % of trials where greedy was strictly worse than optimal
+}
+
+// AblationMaxflow measures the §III-C design choice: greedy first, max-flow
+// only as a fallback. For sizes within the guarantee the fallback should
+// be rare; past S it grows.
+func AblationMaxflow(maxSize, trials int, seed int64) ([]MaxflowAblationRow, error) {
+	dt, err := decluster.NewDesignTheoretic(design.Paper931())
+	if err != nil {
+		return nil, err
+	}
+	rng := newRand(seed)
+	var rows []MaxflowAblationRow
+	for size := 1; size <= maxSize; size++ {
+		row := MaxflowAblationRow{Size: size}
+		fallback, worse := 0, 0
+		var gSum, oSum float64
+		for t := 0; t < trials; t++ {
+			replicas := make([][]int, size)
+			for i := range replicas {
+				replicas[i] = dt.Replicas(rng.Intn(36))
+			}
+			g := retrieval.Greedy(replicas, 9).Accesses
+			o := retrieval.Optimal(replicas, 9).Accesses
+			lb := (size + 8) / 9
+			if g > lb {
+				fallback++
+			}
+			if g > o {
+				worse++
+			}
+			gSum += float64(g)
+			oSum += float64(o)
+		}
+		row.FallbackPct = 100 * float64(fallback) / float64(trials)
+		row.GreedyWorse = 100 * float64(worse) / float64(trials)
+		row.GreedyAvg = gSum / float64(trials)
+		row.OptimalAvg = oSum / float64(trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DesignSizeRow describes the guarantee of one design.
+type DesignSizeRow struct {
+	N, C    int
+	Name    string
+	S1, S2  int // S(1), S(2)
+	Buckets int // rotation capacity
+}
+
+// AblationDesignSize tabulates how the copy and device counts tune the
+// guarantee (paper §II-B3: "a suitable design providing the requested
+// guarantees can be chosen easily by changing the copy and the device
+// count"). All returned designs are constructed and verified.
+func AblationDesignSize() ([]DesignSizeRow, error) {
+	params := [][2]int{{7, 3}, {9, 3}, {13, 3}, {15, 3}, {19, 3}, {21, 3}, {13, 4}, {16, 4}, {21, 5}, {25, 5}}
+	var rows []DesignSizeRow
+	for _, p := range params {
+		d, err := design.ForParams(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Verify(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, DesignSizeRow{
+			N: d.N, C: d.C, Name: d.Name,
+			S1: d.S(1), S2: d.S(2), Buckets: d.MaxBuckets(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"flashqos/internal/stats"
+)
+
+// Metric is one named measurement from an experiment run.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// ConfidenceRow is a metric aggregated across seeds.
+type ConfidenceRow struct {
+	Name     string
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	Seeds    int
+}
+
+// String formats the row as mean ± std.
+func (r ConfidenceRow) String() string {
+	return fmt.Sprintf("%-24s %10.4f ± %.4f  [%.4f, %.4f]  (%d seeds)", r.Name, r.Mean, r.Std, r.Min, r.Max, r.Seeds)
+}
+
+// MultiSeed runs an experiment across several seeds in parallel and
+// aggregates every metric it reports. Synthesized workloads make the
+// published single-trace numbers one draw from a distribution; this
+// harness reports the distribution, which a reproduction should.
+func MultiSeed(seeds []int64, run func(seed int64) ([]Metric, error)) ([]ConfidenceRow, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	results := make([][]Metric, len(seeds))
+	errs := make([]error, len(seeds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = run(seed)
+		}(i, seed)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seeds[i], err)
+		}
+	}
+	// Aggregate by metric name, preserving first-seen order.
+	var order []string
+	agg := map[string]*stats.Summary{}
+	for _, ms := range results {
+		for _, m := range ms {
+			if agg[m.Name] == nil {
+				agg[m.Name] = &stats.Summary{}
+				order = append(order, m.Name)
+			}
+			agg[m.Name].Add(m.Value)
+		}
+	}
+	rows := make([]ConfidenceRow, 0, len(order))
+	for _, name := range order {
+		s := agg[name]
+		rows = append(rows, ConfidenceRow{
+			Name: name, Mean: s.Mean(), Std: s.Std(), Min: s.Min(), Max: s.Max(), Seeds: s.N(),
+		})
+	}
+	return rows, nil
+}
+
+// Seeds returns n deterministic seeds derived from a base.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*7919
+	}
+	return out
+}
+
+// HeadlineMetrics runs the two deterministic-QoS headline experiments
+// (Figs 8 and 9) for one seed and returns their key numbers, for use with
+// MultiSeed.
+func HeadlineMetrics(scale float64) func(int64) ([]Metric, error) {
+	return func(seed int64) ([]Metric, error) {
+		var out []Metric
+		for _, w := range []Workload{Exchange, TPCE} {
+			res, err := DeterministicQoS(w, seed, scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out,
+				Metric{fmt.Sprintf("%s delayed %%", w), res.QoS.DelayedPct},
+				Metric{fmt.Sprintf("%s avg delay ms", w), res.QoS.AvgDelay},
+				Metric{fmt.Sprintf("%s orig max ms", w), res.Original.MaxResponse},
+			)
+			_, match, err := Fig11FIMBenefit(w, seed, scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Metric{fmt.Sprintf("%s FIM match %%", w), match})
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flashqos/internal/decluster"
+	"flashqos/internal/design"
+	"flashqos/internal/maxflow"
+	"flashqos/internal/stats"
+)
+
+// FailureRow reports retrieval behaviour with failed devices.
+type FailureRow struct {
+	Failed      int     // devices removed
+	Available   float64 // % of buckets still retrievable (some replica alive)
+	AvgAccesses float64 // avg retrieval cost of S-sized requests on survivors
+	MaxAccesses int
+	GuaranteeOK float64 // % of trials still within the no-failure guarantee M
+}
+
+// AblationFailure exercises the reliability role of replication (paper
+// §II-B1): with c = 3 copies placed by the (9,3,1) design, any one or two
+// failed flash modules leave every bucket readable, and retrieval degrades
+// gracefully — the failed devices' load shifts to the survivors. Requests
+// of the guarantee size S(1) = 5 are scheduled on the surviving replicas.
+func AblationFailure(maxFailed, trials int, seed int64) ([]FailureRow, error) {
+	dt, err := decluster.NewDesignTheoretic(design.Paper931())
+	if err != nil {
+		return nil, err
+	}
+	if maxFailed >= dt.Copies() {
+		return nil, fmt.Errorf("experiments: failing %d >= c devices can lose data", maxFailed)
+	}
+	rng := newRand(seed)
+	var rows []FailureRow
+	for f := 0; f <= maxFailed; f++ {
+		row := FailureRow{Failed: f}
+		var acc stats.Summary
+		okWithin := 0
+		availableBuckets := 0
+		// Availability: every bucket must keep >= 1 replica.
+		failedSet := map[int]bool{}
+		for i := 0; i < f; i++ {
+			failedSet[i] = true // deterministic worst-ish set; any f < c works
+		}
+		for b := 0; b < dt.Rows(); b++ {
+			alive := 0
+			for _, d := range dt.Replicas(b) {
+				if !failedSet[d] {
+					alive++
+				}
+			}
+			if alive > 0 {
+				availableBuckets++
+			}
+		}
+		row.Available = 100 * float64(availableBuckets) / float64(dt.Rows())
+
+		for trial := 0; trial < trials; trial++ {
+			perm := rng.Perm(36)
+			replicas := make([][]int, 5)
+			for i := range replicas {
+				var alive []int
+				for _, d := range dt.Replicas(perm[i]) {
+					if !failedSet[d] {
+						alive = append(alive, d)
+					}
+				}
+				replicas[i] = alive
+			}
+			m, _ := maxflow.MinAccesses(replicas, 9)
+			acc.Add(float64(m))
+			if m > row.MaxAccesses {
+				row.MaxAccesses = m
+			}
+			if m <= 1 { // the no-failure guarantee for 5 buckets
+				okWithin++
+			}
+		}
+		row.AvgAccesses = acc.Mean()
+		row.GuaranteeOK = 100 * float64(okWithin) / float64(trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

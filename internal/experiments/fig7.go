@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"flashqos/internal/decluster"
+	"flashqos/internal/design"
+)
+
+// Fig7Layout is one allocation scheme's placement tables, in the two views
+// the paper's Fig 7 prints: where each block's copies live, and what each
+// device stores.
+type Fig7Layout struct {
+	Scheme  string
+	Buckets [][]int // Buckets[b] = devices holding bucket b's copies (copy order)
+	Devices [][]int // Devices[d] = buckets stored on device d (ascending)
+}
+
+// Fig7Layouts reproduces Fig 7: the design-theoretic (9,3,1), RAID-1
+// mirrored and RAID-1 chained allocations over the first `buckets` buckets
+// (the paper prints 12; rotations extend each scheme to 36).
+func Fig7Layouts(buckets int) ([]Fig7Layout, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("experiments: buckets must be >= 1")
+	}
+	dt, err := decluster.NewDesignTheoretic(design.Paper931())
+	if err != nil {
+		return nil, err
+	}
+	mir, err := decluster.NewRAID1Mirrored(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := decluster.NewRAID1Chained(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Layout
+	for _, a := range []decluster.Allocator{dt, mir, ch} {
+		l := Fig7Layout{Scheme: a.Name(), Devices: make([][]int, a.Devices())}
+		for b := 0; b < buckets; b++ {
+			row := a.Replicas(b)
+			cp := make([]int, len(row))
+			copy(cp, row)
+			l.Buckets = append(l.Buckets, cp)
+			for _, d := range row {
+				l.Devices[d] = append(l.Devices[d], b)
+			}
+		}
+		for d := range l.Devices {
+			sort.Ints(l.Devices[d])
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

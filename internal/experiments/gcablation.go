@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"flashqos/internal/flashsim"
+	"flashqos/internal/stats"
+)
+
+// GCInterferenceRow reports read latency on one flash module under a mixed
+// read/write load.
+type GCInterferenceRow struct {
+	WriteFrac  float64
+	ReadAvgMS  float64
+	ReadP99MS  float64
+	ReadMaxMS  float64
+	GCRuns     int64
+	MovedPages int64
+}
+
+// AblationGCInterference quantifies the paper's §II-A premise: flash reads
+// have a fixed, predictable latency — which is exactly why the QoS
+// guarantees are stated for read traffic. Driving one SSD module with an
+// increasing write fraction shows garbage collection progressively
+// destroying read-latency predictability (tail >> fixed service time),
+// while the pure-read column stays flat.
+func AblationGCInterference(writeFracs []float64, requests int, seed int64) ([]GCInterferenceRow, error) {
+	var rows []GCInterferenceRow
+	for _, wf := range writeFracs {
+		// Small geometry so GC pressure appears within the test budget.
+		ssd, err := flashsim.NewSSD(flashsim.SSDConfig{
+			Channels: 4, PlanesPerChan: 2, BlocksPerPlane: 16, PagesPerBlock: 16,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		universe := ssd.Capacity() / 2
+		// Pre-fill half the logical space so reads hit mapped pages and GC
+		// has live data to move.
+		tNow := 0.0
+		for lpn := int64(0); lpn < universe; lpn++ {
+			tNow = ssd.Write(tNow, lpn)
+		}
+		var lat stats.Summary
+		var all []float64
+		for i := 0; i < requests; i++ {
+			tNow += 0.15 // spaced past the idle read time: a pure-read stream never queues
+			lpn := rng.Int63n(universe)
+			if rng.Float64() < wf {
+				ssd.Write(tNow, lpn)
+				continue
+			}
+			fin := ssd.Read(tNow, lpn)
+			lat.Add(fin - tNow)
+			all = append(all, fin-tNow)
+		}
+		rows = append(rows, GCInterferenceRow{
+			WriteFrac:  wf,
+			ReadAvgMS:  lat.Mean(),
+			ReadP99MS:  stats.Percentile(all, 99),
+			ReadMaxMS:  lat.Max(),
+			GCRuns:     ssd.GCRuns(),
+			MovedPages: ssd.MovedPages(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReportConfig sizes the full-report run.
+type ReportConfig struct {
+	Seed     int64
+	Scale    float64 // trace scale (default 0.05)
+	Requests int     // synthetic requests for Table III (default 10000)
+	Trials   int     // sampling trials (default 20000)
+	Seeds    int     // seeds for the confidence section (default 3)
+}
+
+func (c *ReportConfig) applyDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 0.05
+	}
+	if c.Requests == 0 {
+		c.Requests = 10000
+	}
+	if c.Trials == 0 {
+		c.Trials = 20000
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// WriteReport regenerates the paper's evaluation as a self-contained
+// markdown document: every table and figure, with the configuration
+// recorded, ready to diff against EXPERIMENTS.md's claims.
+func WriteReport(w io.Writer, cfg ReportConfig) error {
+	cfg.applyDefaults()
+	p := func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("# flashqos evaluation report\n\n")
+	p("Configuration: seed=%d scale=%g requests=%d trials=%d seeds=%d\n\n",
+		cfg.Seed, cfg.Scale, cfg.Requests, cfg.Trials, cfg.Seeds)
+
+	// Fig 4.
+	tab, err := Fig4Probabilities(cfg.Trials, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	p("## Fig 4 — optimal-retrieval probabilities (9,3,1)\n\n")
+	p("| k | P_k |\n|---|---|\n")
+	for k := 1; k <= 10; k++ {
+		p("| %d | %.4f |\n", k, tab.At(k))
+	}
+	p("\n")
+
+	// Table II.
+	t2, err := TableIIRetrievalComparison(5000, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	p("## Table II — DTR vs OLR accesses\n\n| S | DTR | OLR |\n|---|---|---|\n")
+	rangeStr := func(lo, hi int) string {
+		if lo == hi {
+			return fmt.Sprintf("%d", lo)
+		}
+		return fmt.Sprintf("%d or %d", lo, hi)
+	}
+	for _, r := range t2 {
+		p("| %d | %s | %s |\n", r.S, rangeStr(r.DTRMin, r.DTRMax), rangeStr(r.OLRMin, r.OLRMax))
+	}
+	p("\n")
+
+	// Table III.
+	t3, err := TableIIIAllocationComparison(cfg.Requests, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	p("## Table III — allocation schemes, response times (ms)\n\n")
+	p("| k | T | scheme | avg | std | max | meets |\n|---|---|---|---|---|---|---|\n")
+	for _, r := range t3 {
+		p("| %d | %.3f | %s | %.3f | %.3f | %.3f | %v |\n",
+			r.Case.RequestSize, r.Case.IntervalMS, r.Scheme, r.Avg, r.Std, r.Max, r.Met)
+	}
+	p("\n")
+
+	// Figs 8/9.
+	p("## Figs 8–9 — deterministic QoS vs original stand\n\n")
+	p("| workload | qos max | orig avg | orig max | delayed %% | avg delay |\n|---|---|---|---|---|---|\n")
+	for _, wl := range []Workload{Exchange, TPCE} {
+		res, err := DeterministicQoS(wl, cfg.Seed, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		p("| %s | %.4f | %.4f | %.4f | %.2f | %.4f |\n",
+			wl, res.QoS.MaxResponse, res.Original.AvgResponse, res.Original.MaxResponse,
+			res.QoS.DelayedPct, res.QoS.AvgDelay)
+	}
+	p("\n")
+
+	// Fig 10.
+	p("## Fig 10 — statistical QoS sweep\n\n")
+	p("| workload | epsilon | delayed %% | avg response |\n|---|---|---|---|\n")
+	for _, wl := range []Workload{Exchange, TPCE} {
+		rows, err := Fig10Statistical(wl, Fig10Epsilons, cfg.Seed, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			p("| %s | %.4f | %.2f | %.6f |\n", wl, r.Epsilon, r.DelayedPct, r.AvgResponse)
+		}
+	}
+	p("\n")
+
+	// Fig 11.
+	p("## Fig 11 — FIM benefit\n\n| workload | mean match %% |\n|---|---|\n")
+	for _, wl := range []Workload{Exchange, TPCE} {
+		_, mean, err := Fig11FIMBenefit(wl, cfg.Seed, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		p("| %s | %.1f |\n", wl, mean)
+	}
+	p("\n")
+
+	// Fig 12.
+	p("## Fig 12 — online vs interval-aligned retrieval delay (ms)\n\n")
+	p("| workload | online | aligned |\n|---|---|---|\n")
+	for _, wl := range []Workload{Exchange, TPCE} {
+		rows, err := Fig12RetrievalComparison(wl, cfg.Seed, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		var on, al float64
+		for _, r := range rows {
+			on += r.OnlineAvgDelay
+			al += r.AlignedAvgDelay
+		}
+		n := float64(len(rows))
+		if n > 0 {
+			p("| %s | %.4f | %.4f |\n", wl, on/n, al/n)
+		}
+	}
+	p("\n")
+
+	// Confidence.
+	conf, err := MultiSeed(Seeds(cfg.Seed, cfg.Seeds), HeadlineMetrics(cfg.Scale))
+	if err != nil {
+		return err
+	}
+	p("## Headline metrics across %d seeds\n\n| metric | mean | std |\n|---|---|---|\n", cfg.Seeds)
+	for _, r := range conf {
+		p("| %s | %.4f | %.4f |\n", r.Name, r.Mean, r.Std)
+	}
+	p("\n")
+	return nil
+}

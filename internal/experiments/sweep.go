@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+)
+
+// SweepRow reports one (design, M) configuration on a common workload.
+type SweepRow struct {
+	N, C        int
+	M           int
+	S           int // admission limit
+	DelayedPct  float64
+	AvgDelay    float64
+	Utilization float64 // mean device busy fraction
+}
+
+// SweepDesigns tests the paper's tunability claim ("utilization of the
+// system can be tuned by adjusting the parameters"): the same workload is
+// replayed over different device counts, copy counts and guarantee targets
+// M. More devices or a looser M raise the admission limit S, cutting
+// delays at the cost of per-device utilization headroom.
+func SweepDesigns(seed int64, scale float64) ([]SweepRow, error) {
+	tr, err := makeTrace(Exchange, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		n, c, m int
+	}{
+		{7, 3, 1},
+		{9, 3, 1},
+		{9, 3, 2},
+		{13, 3, 1},
+		{13, 3, 2},
+		{19, 3, 1},
+		{13, 4, 1},
+	}
+	var rows []SweepRow
+	for _, cfg := range configs {
+		d, err := design.ForParams(cfg.n, cfg.c)
+		if err != nil {
+			return nil, err
+		}
+		// Larger M needs a longer interval to fit M serial accesses.
+		interval := 0.133 * float64(cfg.m)
+		sys, err := core.New(core.Config{Design: d, M: cfg.m, IntervalMS: interval, DisableFIM: true})
+		if err != nil {
+			return nil, err
+		}
+		rep := sys.ReplayTrace(tr)
+		rows = append(rows, SweepRow{
+			N: cfg.n, C: cfg.c, M: cfg.m, S: sys.S(),
+			DelayedPct:  rep.DelayedPct,
+			AvgDelay:    rep.AvgDelay,
+			Utilization: rep.Utilization,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashqos/internal/decluster"
+	"flashqos/internal/design"
+	"flashqos/internal/flashsim"
+	"flashqos/internal/retrieval"
+	"flashqos/internal/stats"
+	"flashqos/internal/trace"
+)
+
+// newRand builds a deterministic RNG for experiments.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TableIIICase is one (request size, interval) workload of Table III.
+type TableIIICase struct {
+	RequestSize int     // blocks per interval: 5, 14, 27
+	IntervalMS  float64 // 0.133, 0.266, 0.399
+}
+
+// TableIIICases are the paper's three synthetic workloads (§V-C).
+var TableIIICases = []TableIIICase{
+	{5, 0.133},
+	{14, 0.266},
+	{27, 0.399},
+}
+
+// TableIIIRow reports one allocation scheme under one workload.
+type TableIIIRow struct {
+	Case   TableIIICase
+	Scheme string
+	Avg    float64 // ms
+	Std    float64
+	Max    float64
+	Met    bool // all responses within the interval guarantee
+}
+
+// String renders the row like the paper's table.
+func (r TableIIIRow) String() string {
+	return fmt.Sprintf("k=%-2d T=%.3f %-22s avg=%.3f std=%.3f max=%.3f",
+		r.Case.RequestSize, r.Case.IntervalMS, r.Scheme, r.Avg, r.Std, r.Max)
+}
+
+// TableIIIAllocationComparison reproduces Table III: I/O driver response
+// times of RAID-1 mirrored, RAID-1 chained and the (9,3,1) design-theoretic
+// allocation under synthetic batch workloads of 5/14/27 blocks per
+// 0.133/0.266/0.399 ms interval (totalRequests requests each, pool of 36
+// buckets, 8 KB reads at 0.132507 ms).
+//
+// Every scheme sees the same request sequence and uses the same optimal
+// batch retrieval; only the replica placements differ. Batches that exceed
+// a scheme's parallelism overrun their interval and queue, which is what
+// blows up the RAID-1 mirrored maximum at larger request sizes in the
+// paper.
+func TableIIIAllocationComparison(totalRequests int, seed int64) ([]TableIIIRow, error) {
+	dt, err := decluster.NewDesignTheoretic(design.Paper931())
+	if err != nil {
+		return nil, err
+	}
+	mir, err := decluster.NewRAID1Mirrored(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := decluster.NewRAID1Chained(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []decluster.Allocator{mir, ch, dt}
+
+	var rows []TableIIIRow
+	for _, c := range TableIIICases {
+		tr, err := trace.Synthetic(trace.SyntheticConfig{
+			IntervalMS:        c.IntervalMS,
+			BlocksPerInterval: c.RequestSize,
+			TotalRequests:     totalRequests,
+			PoolSize:          36,
+			Seed:              seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for si, alloc := range schemes {
+			row := TableIIIRow{Case: c, Scheme: alloc.Name(), Met: true}
+			isDT := si == len(schemes)-1 // design-theoretic is last
+			var sum stats.Summary
+			sched := retrieval.NewOnline(9, flashsim.DefaultReadLatency)
+			// Replay batch by batch: all requests of an interval arrive at
+			// its start. The design-theoretic system retrieves the batch
+			// jointly with remapping (§III-C); the RAID baselines behave
+			// like an I/O driver, placing each request on its
+			// earliest-finishing replica with no joint optimization.
+			for i := 0; i < len(tr.Records); i += c.RequestSize {
+				end := i + c.RequestSize
+				if end > len(tr.Records) {
+					end = len(tr.Records)
+				}
+				batch := tr.Records[i:end]
+				at := batch[0].Arrival
+				replicas := make([][]int, len(batch))
+				for j, r := range batch {
+					replicas[j] = alloc.Replicas(int(r.Block))
+				}
+				var comps []retrieval.Completion
+				if isDT {
+					comps = sched.SubmitBatch(at, replicas)
+				} else {
+					comps = make([]retrieval.Completion, len(replicas))
+					for j, reps := range replicas {
+						comps[j] = sched.Submit(at, reps)
+					}
+				}
+				for _, comp := range comps {
+					resp := comp.Finish - at
+					sum.Add(resp)
+					if resp > c.IntervalMS+1e-9 {
+						row.Met = false
+					}
+				}
+			}
+			row.Avg = sum.Mean()
+			row.Std = sum.Std()
+			row.Max = sum.Max()
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

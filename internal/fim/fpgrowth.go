@@ -1,0 +1,172 @@
+package fim
+
+import "sort"
+
+// FP-growth (Han, Pei & Yin, SIGMOD 2000) — the third base algorithm family
+// the paper's §IV-A cites. Transactions are compressed into a prefix tree
+// (FP-tree) ordered by descending item frequency; frequent itemsets are
+// mined recursively from conditional pattern bases without candidate
+// generation.
+
+// fpNode is one FP-tree node.
+type fpNode struct {
+	item     int64
+	count    int
+	parent   *fpNode
+	children map[int64]*fpNode
+	next     *fpNode // header-table chain of nodes with the same item
+}
+
+// fpTree is an FP-tree plus its header table.
+type fpTree struct {
+	root    *fpNode
+	headers map[int64]*fpNode
+	counts  map[int64]int
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: make(map[int64]*fpNode)},
+		headers: make(map[int64]*fpNode),
+		counts:  make(map[int64]int),
+	}
+}
+
+// insert adds a frequency-ordered item list with the given count.
+func (t *fpTree) insert(items []int64, count int) {
+	cur := t.root
+	for _, it := range items {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: cur, children: make(map[int64]*fpNode)}
+			cur.children[it] = child
+			// Chain into the header table.
+			child.next = t.headers[it]
+			t.headers[it] = child
+		}
+		child.count += count
+		t.counts[it] += count
+		cur = child
+	}
+}
+
+// FPGrowth mines all frequent itemsets of size 1..maxSize with support >=
+// minSupport. It produces exactly the same result as Apriori and Eclat.
+func FPGrowth(txs []Transaction, minSupport, maxSize int) []Itemset {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if maxSize < 1 {
+		return nil
+	}
+	// Global frequencies; frequent items ordered by descending support
+	// (ties by item) define the tree order.
+	freq := make(map[int64]int)
+	for _, tx := range txs {
+		for _, it := range tx {
+			freq[it]++
+		}
+	}
+	order := make(map[int64]int) // item -> rank
+	{
+		var items []int64
+		for it, c := range freq {
+			if c >= minSupport {
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if freq[items[i]] != freq[items[j]] {
+				return freq[items[i]] > freq[items[j]]
+			}
+			return items[i] < items[j]
+		})
+		for rank, it := range items {
+			order[it] = rank
+		}
+	}
+	tree := newFPTree()
+	for _, tx := range txs {
+		var kept []int64
+		for _, it := range tx {
+			if _, ok := order[it]; ok {
+				kept = append(kept, it)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool { return order[kept[i]] < order[kept[j]] })
+		if len(kept) > 0 {
+			tree.insert(kept, 1)
+		}
+	}
+
+	var result []Itemset
+	var mine func(t *fpTree, suffix []int64)
+	mine = func(t *fpTree, suffix []int64) {
+		// Items in the tree, processed in ascending support order
+		// (bottom-up) for conditional growth.
+		var items []int64
+		for it, c := range t.counts {
+			if c >= minSupport {
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if t.counts[items[i]] != t.counts[items[j]] {
+				return t.counts[items[i]] < t.counts[items[j]]
+			}
+			return items[i] > items[j]
+		})
+		for _, it := range items {
+			pattern := append(append([]int64{}, suffix...), it)
+			sort.Slice(pattern, func(i, j int) bool { return pattern[i] < pattern[j] })
+			result = append(result, Itemset{Items: pattern, Support: t.counts[it]})
+			if len(pattern) >= maxSize {
+				continue
+			}
+			// Conditional pattern base: prefix paths of every node of `it`.
+			cond := newFPTree()
+			for node := t.headers[it]; node != nil; node = node.next {
+				var path []int64
+				for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+					path = append(path, p.item)
+				}
+				// path is leaf→root; reverse to root→leaf insertion order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				if len(path) > 0 {
+					cond.insert(path, node.count)
+				}
+			}
+			// Prune infrequent items from the conditional tree by rebuilding.
+			pruned := newFPTree()
+			var rebuild func(n *fpNode, prefix []int64)
+			rebuild = func(n *fpNode, prefix []int64) {
+				for _, child := range n.children {
+					p := prefix
+					if cond.counts[child.item] >= minSupport {
+						p = append(append([]int64{}, prefix...), child.item)
+					}
+					// Count only the node's own contribution beyond its
+					// children (handled by inserting leaf counts): insert the
+					// full prefix with this node's count minus children sum.
+					childSum := 0
+					for _, gc := range child.children {
+						childSum += gc.count
+					}
+					if own := child.count - childSum; own > 0 && len(p) > 0 {
+						pruned.insert(p, own)
+					}
+					rebuild(child, p)
+				}
+			}
+			rebuild(cond.root, nil)
+			if len(pruned.counts) > 0 {
+				mine(pruned, pattern)
+			}
+		}
+	}
+	mine(tree, nil)
+	sortItemsets(result)
+	return result
+}

@@ -1,0 +1,146 @@
+package fim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestFPGrowthMarketBasket(t *testing.T) {
+	got := FPGrowth(marketBasket(), 2, 3)
+	want := Apriori(marketBasket(), 2, 3)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FP-growth disagrees with Apriori:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestFPGrowthMatchesAprioriRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		var txs []Transaction
+		n := 50 + rng.Intn(150)
+		for i := 0; i < n; i++ {
+			seen := map[int64]bool{}
+			var tx Transaction
+			for j := 0; j < 1+rng.Intn(6); j++ {
+				v := int64(rng.Intn(25))
+				if !seen[v] {
+					seen[v] = true
+					tx = append(tx, v)
+				}
+			}
+			sortTx(tx)
+			txs = append(txs, tx)
+		}
+		for _, minsup := range []int{1, 2, 5} {
+			for _, maxSize := range []int{1, 2, 3, 4} {
+				a := Apriori(txs, minsup, maxSize)
+				f := FPGrowth(txs, minsup, maxSize)
+				if !reflect.DeepEqual(a, f) {
+					t.Fatalf("trial %d minsup=%d maxSize=%d: Apriori %d sets, FP-growth %d sets",
+						trial, minsup, maxSize, len(a), len(f))
+				}
+			}
+		}
+	}
+}
+
+func TestFPGrowthEdgeCases(t *testing.T) {
+	if got := FPGrowth(nil, 1, 2); got != nil {
+		t.Error("empty transactions should mine nothing")
+	}
+	if got := FPGrowth(marketBasket(), 2, 0); got != nil {
+		t.Error("maxSize 0 should mine nothing")
+	}
+	if got := FPGrowth(marketBasket(), 100, 2); got != nil {
+		t.Error("impossible support should mine nothing")
+	}
+	// minSupport clamp.
+	sets := FPGrowth([]Transaction{{7}}, -5, 1)
+	if len(sets) != 1 || sets[0].Support != 1 {
+		t.Errorf("clamped minsup: %+v", sets)
+	}
+}
+
+func BenchmarkFPGrowth(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var txs []Transaction
+	for i := 0; i < 2000; i++ {
+		seen := map[int64]bool{}
+		var tx Transaction
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			v := int64(rng.Intn(100))
+			if !seen[v] {
+				seen[v] = true
+				tx = append(tx, v)
+			}
+		}
+		sortTx(tx)
+		txs = append(txs, tx)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FPGrowth(txs, 3, 3)
+	}
+}
+
+func TestPCYMatchesMinePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var txs []Transaction
+	for i := 0; i < 800; i++ {
+		seen := map[int64]bool{}
+		var tx Transaction
+		for j := 0; j < 1+rng.Intn(7); j++ {
+			v := int64(rng.Intn(60))
+			if !seen[v] {
+				seen[v] = true
+				tx = append(tx, v)
+			}
+		}
+		sortTx(tx)
+		txs = append(txs, tx)
+	}
+	for _, minsup := range []int{1, 2, 5, 20} {
+		want := MinePairs(txs, minsup)
+		// Both a roomy and a cramped bucket table must be exact.
+		for _, buckets := range []int{1 << 16, 64, 1} {
+			got := MinePairsPCY(txs, PCYOptions{MinSupport: minsup, Buckets: buckets})
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("minsup=%d buckets=%d: PCY %d pairs, MinePairs %d", minsup, buckets, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestPCYDefaults(t *testing.T) {
+	got := MinePairsPCY(marketBasket(), PCYOptions{MinSupport: 2})
+	want := MinePairs(marketBasket(), 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("PCY with default buckets disagrees")
+	}
+	if MinePairsPCY(nil, PCYOptions{}) != nil {
+		t.Error("empty input should mine nothing")
+	}
+}
+
+func BenchmarkPCY(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var txs []Transaction
+	for i := 0; i < 10000; i++ {
+		seen := map[int64]bool{}
+		var tx Transaction
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			v := int64(rng.Intn(1000))
+			if !seen[v] {
+				seen[v] = true
+				tx = append(tx, v)
+			}
+		}
+		sortTx(tx)
+		txs = append(txs, tx)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinePairsPCY(txs, PCYOptions{MinSupport: 2})
+	}
+}

@@ -1,0 +1,65 @@
+package fim
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzMinePairs checks the pair miner never panics and produces supports
+// consistent with brute-force counting on arbitrary transaction inputs.
+func FuzzMinePairs(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 1, 3, 0, 2, 3}, 2)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{5, 5, 5, 0}, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, minsup int) {
+		// Decode: 0 separates transactions; other bytes are items.
+		var txs []Transaction
+		var cur []int64
+		seen := map[int64]bool{}
+		for _, b := range raw {
+			if b == 0 {
+				if len(cur) > 0 {
+					txs = append(txs, cur)
+					cur = nil
+					seen = map[int64]bool{}
+				}
+				continue
+			}
+			v := int64(b)
+			if !seen[v] {
+				seen[v] = true
+				cur = append(cur, v)
+			}
+		}
+		if len(cur) > 0 {
+			txs = append(txs, cur)
+		}
+		for _, tx := range txs {
+			sort.Slice(tx, func(i, j int) bool { return tx[i] < tx[j] })
+		}
+		if minsup > 1000 || minsup < -1000 {
+			return
+		}
+		pairs := MinePairs(txs, minsup)
+		for _, p := range pairs {
+			count := 0
+			for _, tx := range txs {
+				hasA, hasB := false, false
+				for _, v := range tx {
+					if v == p.A {
+						hasA = true
+					}
+					if v == p.B {
+						hasB = true
+					}
+				}
+				if hasA && hasB {
+					count++
+				}
+			}
+			if count != p.Support {
+				t.Fatalf("pair (%d,%d): support %d, brute force %d", p.A, p.B, p.Support, count)
+			}
+		}
+	})
+}

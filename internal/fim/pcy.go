@@ -1,0 +1,81 @@
+package fim
+
+// PCY (Park–Chen–Yu) low-memory pair mining — the counterpart of the
+// paper's fim_apriori-lowmem choice (§V-F: "it can deal with large
+// datasets efficiently"). Pass 1 counts items and hashes every pair into a
+// fixed-size bucket array; pass 2 counts exactly only the pairs of
+// frequent items whose bucket met the support threshold. Memory for
+// candidate counting drops from O(#pairs) to O(buckets + #surviving pairs).
+
+// PCYOptions tune the miner.
+type PCYOptions struct {
+	MinSupport int
+	Buckets    int // hash buckets for pass 1 (default 1<<16)
+}
+
+// MinePairsPCY returns exactly the same frequent pairs as MinePairs, using
+// the PCY two-pass strategy. Results are sorted like MinePairs.
+func MinePairsPCY(txs []Transaction, opt PCYOptions) []Pair {
+	minSupport := opt.MinSupport
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	buckets := opt.Buckets
+	if buckets <= 0 {
+		buckets = 1 << 16
+	}
+	hash := func(a, b int64) int {
+		h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xc2b2ae3d27d4eb4f
+		return int(h % uint64(buckets))
+	}
+	// Pass 1: item counts + pair bucket counts.
+	itemCount := make(map[int64]int)
+	bucketCount := make([]int32, buckets)
+	for _, tx := range txs {
+		for _, it := range tx {
+			itemCount[it]++
+		}
+		for i := 0; i < len(tx); i++ {
+			for j := i + 1; j < len(tx); j++ {
+				bucketCount[hash(tx[i], tx[j])]++
+			}
+		}
+	}
+	frequentItem := make(map[int64]bool, len(itemCount))
+	for it, c := range itemCount {
+		if c >= minSupport {
+			frequentItem[it] = true
+		}
+	}
+	// Bitmap of frequent buckets.
+	frequentBucket := make([]bool, buckets)
+	for i, c := range bucketCount {
+		frequentBucket[i] = int(c) >= minSupport
+	}
+	// Pass 2: exact counts for surviving candidates only.
+	pairCount := make(map[[2]int64]int)
+	var buf []int64
+	for _, tx := range txs {
+		buf = buf[:0]
+		for _, it := range tx {
+			if frequentItem[it] {
+				buf = append(buf, it)
+			}
+		}
+		for i := 0; i < len(buf); i++ {
+			for j := i + 1; j < len(buf); j++ {
+				if frequentBucket[hash(buf[i], buf[j])] {
+					pairCount[[2]int64{buf[i], buf[j]}]++
+				}
+			}
+		}
+	}
+	var out []Pair
+	for k, v := range pairCount {
+		if v >= minSupport {
+			out = append(out, Pair{A: k[0], B: k[1], Support: v})
+		}
+	}
+	sortPairs(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package fim
+
+import "sort"
+
+// Association rules (paper §IV-A: "x number of customers who bought item1
+// also bought item2"). A rule A → B has support = count(A ∧ B) and
+// confidence = count(A ∧ B) / count(A).
+
+// Rule is a pairwise association rule.
+type Rule struct {
+	Antecedent int64
+	Consequent int64
+	Support    int     // co-occurrence count
+	Confidence float64 // Support / count(Antecedent)
+}
+
+// Rules derives directed pairwise association rules from mined frequent
+// pairs and the transactions they came from. Only rules with confidence >=
+// minConfidence are kept; results are sorted by descending confidence,
+// then descending support.
+func Rules(txs []Transaction, pairs []Pair, minConfidence float64) []Rule {
+	if len(pairs) == 0 {
+		return nil
+	}
+	itemCount := make(map[int64]int)
+	for _, tx := range txs {
+		for _, it := range tx {
+			itemCount[it]++
+		}
+	}
+	var out []Rule
+	add := func(a, b int64, support int) {
+		ca := itemCount[a]
+		if ca == 0 {
+			return
+		}
+		conf := float64(support) / float64(ca)
+		if conf >= minConfidence {
+			out = append(out, Rule{Antecedent: a, Consequent: b, Support: support, Confidence: conf})
+		}
+	}
+	for _, p := range pairs {
+		add(p.A, p.B, p.Support)
+		add(p.B, p.A, p.Support)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].Antecedent != out[j].Antecedent {
+			return out[i].Antecedent < out[j].Antecedent
+		}
+		return out[i].Consequent < out[j].Consequent
+	})
+	return out
+}

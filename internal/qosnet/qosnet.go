@@ -1,0 +1,324 @@
+// Package qosnet exposes a QoS system over TCP with a line-based text
+// protocol, modelling the storage-cloud deployment the paper motivates
+// (§I): tenants submit block reads to a shared flash array and receive the
+// admission outcome and guaranteed response time.
+//
+// Protocol (one request per line, space-separated):
+//
+//	READ <block>        → OK <device> <delay-ms> <response-ms> <delayed>
+//	                    | REJECTED
+//	WRITE <block>       → same responses; updates all replicas
+//	MAP <block>         → MAP <designBlock> <dev0> <dev1> ...
+//	STATS               → STATS <requests> <delayed> <rejected> <avgDelay-ms>
+//	METRICS             → Prometheus-style text exposition, blank-line terminated
+//	QUIT                → connection closes
+//
+// Arrival times are virtual: milliseconds since the server started, read
+// from a monotonic clock, so the simulated array timeline matches real
+// request interleaving.
+package qosnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flashqos/internal/core"
+)
+
+// Server serves a core.System over TCP. Create with NewServer, then Serve.
+type Server struct {
+	sys   *core.System
+	start time.Time
+
+	mu       sync.Mutex
+	lastT    float64
+	requests int64
+	delayed  int64
+	rejected int64
+	delaySum float64
+
+	lis      net.Listener
+	closed   chan struct{}
+	connWG   sync.WaitGroup
+	closeOne sync.Once
+}
+
+// NewServer wraps a QoS system. The system must not be used concurrently
+// elsewhere.
+func NewServer(sys *core.System) *Server {
+	return &Server{sys: sys, start: time.Now(), closed: make(chan struct{})}
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lis = lis
+	return lis.Addr(), nil
+}
+
+// Serve accepts connections until Close. Call after Listen.
+func (s *Server) Serve() error {
+	if s.lis == nil {
+		return errors.New("qosnet: Serve before Listen")
+	}
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				s.connWG.Wait()
+				return nil
+			default:
+				return err
+			}
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	s.closeOne.Do(func() {
+		close(s.closed)
+		if s.lis != nil {
+			s.lis.Close()
+		}
+	})
+}
+
+// now returns the virtual arrival time in ms, forced non-decreasing.
+func (s *Server) now() float64 {
+	t := float64(time.Since(s.start)) / float64(time.Millisecond)
+	if t < s.lastT {
+		t = s.lastT
+	}
+	s.lastT = t
+	return t
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "READ", "WRITE":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR usage: %s <block>\n", strings.ToUpper(fields[0]))
+				break
+			}
+			block, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad block: %v\n", err)
+				break
+			}
+			s.mu.Lock()
+			var out core.Outcome
+			if strings.ToUpper(fields[0]) == "WRITE" {
+				out = s.sys.SubmitWrite(s.now(), block)
+			} else {
+				out = s.sys.Submit(s.now(), block)
+			}
+			s.requests++
+			if out.Rejected {
+				s.rejected++
+			} else if out.Delayed {
+				s.delayed++
+				s.delaySum += out.Delay
+			}
+			s.mu.Unlock()
+			if out.Rejected {
+				fmt.Fprintln(w, "REJECTED")
+			} else {
+				fmt.Fprintf(w, "OK %d %.6f %.6f %v\n", out.Device, out.Delay, out.Response(), out.Delayed)
+			}
+		case "MAP":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERR usage: MAP <block>")
+				break
+			}
+			block, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad block: %v\n", err)
+				break
+			}
+			s.mu.Lock()
+			db := s.sys.Mapper().DesignBlock(block)
+			reps := s.sys.Replicas(block)
+			s.mu.Unlock()
+			fmt.Fprintf(w, "MAP %d", db)
+			for _, d := range reps {
+				fmt.Fprintf(w, " %d", d)
+			}
+			fmt.Fprintln(w)
+		case "STATS":
+			s.mu.Lock()
+			avg := 0.0
+			if s.delayed > 0 {
+				avg = s.delaySum / float64(s.delayed)
+			}
+			fmt.Fprintf(w, "STATS %d %d %d %.6f\n", s.requests, s.delayed, s.rejected, avg)
+			s.mu.Unlock()
+		case "METRICS":
+			s.mu.Lock()
+			fmt.Fprintf(w, "# TYPE flashqos_requests_total counter\n")
+			fmt.Fprintf(w, "flashqos_requests_total %d\n", s.requests)
+			fmt.Fprintf(w, "# TYPE flashqos_delayed_total counter\n")
+			fmt.Fprintf(w, "flashqos_delayed_total %d\n", s.delayed)
+			fmt.Fprintf(w, "# TYPE flashqos_rejected_total counter\n")
+			fmt.Fprintf(w, "flashqos_rejected_total %d\n", s.rejected)
+			fmt.Fprintf(w, "# TYPE flashqos_delay_ms_sum counter\n")
+			fmt.Fprintf(w, "flashqos_delay_ms_sum %.6f\n", s.delaySum)
+			fmt.Fprintf(w, "# TYPE flashqos_admission_limit gauge\n")
+			fmt.Fprintf(w, "flashqos_admission_limit %d\n", s.sys.S())
+			fmt.Fprintf(w, "# TYPE flashqos_q_estimate gauge\n")
+			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.sys.Q())
+			s.mu.Unlock()
+			fmt.Fprintln(w)
+		case "QUIT":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a minimal client for the protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a qosnet server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.conn, "QUIT")
+	return c.conn.Close()
+}
+
+// ReadResult is the outcome of a READ request.
+type ReadResult struct {
+	Device   int
+	DelayMS  float64
+	RespMS   float64
+	Delayed  bool
+	Rejected bool
+}
+
+func (c *Client) roundTrip(req string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, req); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR") {
+		return "", errors.New(line)
+	}
+	return line, nil
+}
+
+// Read submits a block read.
+func (c *Client) Read(block int64) (ReadResult, error) {
+	line, err := c.roundTrip(fmt.Sprintf("READ %d", block))
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if line == "REJECTED" {
+		return ReadResult{Rejected: true}, nil
+	}
+	var r ReadResult
+	var delayed string
+	if _, err := fmt.Sscanf(line, "OK %d %f %f %s", &r.Device, &r.DelayMS, &r.RespMS, &delayed); err != nil {
+		return ReadResult{}, fmt.Errorf("qosnet: bad response %q: %w", line, err)
+	}
+	r.Delayed = delayed == "true"
+	return r, nil
+}
+
+// Map asks where a data block lives.
+func (c *Client) Map(block int64) (designBlock int, devices []int, err error) {
+	line, err := c.roundTrip(fmt.Sprintf("MAP %d", block))
+	if err != nil {
+		return 0, nil, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "MAP" {
+		return 0, nil, fmt.Errorf("qosnet: bad MAP response %q", line)
+	}
+	db, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, f := range fields[2:] {
+		d, err := strconv.Atoi(f)
+		if err != nil {
+			return 0, nil, err
+		}
+		devices = append(devices, d)
+	}
+	return db, devices, nil
+}
+
+// Metrics fetches the Prometheus-style exposition text.
+func (c *Client) Metrics() (string, error) {
+	if _, err := fmt.Fprintln(c.conn, "METRICS"); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimSpace(line) == "" {
+			return b.String(), nil
+		}
+		b.WriteString(line)
+	}
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (requests, delayed, rejected int64, avgDelayMS float64, err error) {
+	line, err := c.roundTrip("STATS")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(line, "STATS %d %d %d %f", &requests, &delayed, &rejected, &avgDelayMS); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("qosnet: bad STATS response %q: %w", line, err)
+	}
+	return requests, delayed, rejected, avgDelayMS, nil
+}

@@ -1,0 +1,289 @@
+// Package retrieval implements the paper's three retrieval strategies for
+// replicated buckets (§III-C, §IV-B):
+//
+//   - Greedy: the design-theoretic retrieval algorithm — map every block to
+//     its first copy, then remap blocks off overloaded devices onto less
+//     loaded replicas. O(b) per pass; optimal for request sizes within the
+//     design guarantee.
+//   - Optimal: the paper's combined algorithm — run Greedy, and if its cost
+//     exceeds the ⌈b/N⌉ lower bound, solve the max-flow problem for the
+//     exact optimum.
+//   - Online: the time-based scheduler of §IV-B — retrieve each request as
+//     it arrives, FCFS, choosing the replica device with the earliest
+//     finish time; simultaneous arrivals are scheduled together with
+//     remapping.
+package retrieval
+
+import (
+	"fmt"
+
+	"flashqos/internal/maxflow"
+)
+
+// Result describes a retrieval schedule for one batch of block requests.
+type Result struct {
+	Accesses   int   // parallel access rounds used (max per-device load)
+	Assignment []int // Assignment[i] = device retrieving block i
+}
+
+// lowerBound is the parallel I/O optimum ⌈b/n⌉.
+func lowerBound(b, n int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (b + n - 1) / n
+}
+
+// Greedy runs the design-theoretic retrieval algorithm. replicas[i] lists
+// the devices storing block i in copy order; n is the device count. Every
+// block starts on its first copy; while some device exceeds the current
+// target load, blocks are moved to a strictly less loaded replica device.
+// When no single move helps, the target is raised. The result is optimal
+// whenever a sequence of single-block moves reaches the optimum — in
+// particular for request sizes within the design guarantee — but is not
+// guaranteed optimal in general (use Optimal for that).
+func Greedy(replicas [][]int, n int) Result {
+	b := len(replicas)
+	assign := make([]int, b)
+	load := make([]int, n)
+	for i, devs := range replicas {
+		if len(devs) == 0 {
+			panic(fmt.Sprintf("retrieval: block %d has no replicas", i))
+		}
+		assign[i] = devs[0]
+		load[devs[0]]++
+	}
+	maxLoad := 0
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	for m := lowerBound(b, n); m < maxLoad; {
+		moved := false
+		for i, devs := range replicas {
+			cur := assign[i]
+			if load[cur] <= m {
+				continue
+			}
+			// Move block i to its least-loaded replica if strictly better.
+			best := cur
+			for _, d := range devs {
+				if load[d] < load[best] {
+					best = d
+				}
+			}
+			if best != cur && load[best] < m {
+				load[cur]--
+				load[best]++
+				assign[i] = best
+				moved = true
+			}
+		}
+		maxLoad = 0
+		for _, l := range load {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		if !moved {
+			m++
+		}
+	}
+	return Result{Accesses: maxLoad, Assignment: assign}
+}
+
+// Optimal implements the paper's combined retrieval: design-theoretic
+// greedy first (O(b)); if its access count exceeds the ⌈b/N⌉ optimum, fall
+// back to the max-flow solver for the exact minimum (O(b³) worst case).
+// The returned schedule always uses the true minimal number of accesses.
+func Optimal(replicas [][]int, n int) Result {
+	b := len(replicas)
+	if b == 0 {
+		return Result{}
+	}
+	g := Greedy(replicas, n)
+	lb := lowerBound(b, n)
+	if g.Accesses == lb {
+		return g
+	}
+	m, a := maxflow.MinAccesses(replicas, n)
+	return Result{Accesses: m, Assignment: a}
+}
+
+// UsedFallback reports whether Optimal would have needed the max-flow
+// fallback for this request (i.e. Greedy was above the lower bound). Used
+// by the ablation experiments.
+func UsedFallback(replicas [][]int, n int) bool {
+	if len(replicas) == 0 {
+		return false
+	}
+	return Greedy(replicas, n).Accesses > lowerBound(len(replicas), n)
+}
+
+// SequentialAccesses returns the access count produced by assigning each
+// block, in arrival order, to its currently least-loaded replica device —
+// the load shape of the online algorithm when requests arrive one by one
+// with no lookahead. Used for the Table II DTR/OLR comparison.
+func SequentialAccesses(replicas [][]int, n int) int {
+	load := make([]int, n)
+	maxLoad := 0
+	for _, devs := range replicas {
+		best := devs[0]
+		for _, d := range devs {
+			if load[d] < load[best] {
+				best = d
+			}
+		}
+		load[best]++
+		if load[best] > maxLoad {
+			maxLoad = load[best]
+		}
+	}
+	return maxLoad
+}
+
+// Completion describes the scheduled execution of one request by the online
+// scheduler.
+type Completion struct {
+	Device int
+	Start  float64 // service start time
+	Finish float64 // service completion time
+}
+
+// Response returns the request's response time given its arrival time.
+func (c Completion) Response(arrival float64) float64 { return c.Finish - arrival }
+
+// Online is the time-based online retrieval scheduler (paper §IV-B):
+// requests are served FCFS as they arrive; a request is placed on an idle
+// replica device if one exists, otherwise on the replica device with the
+// earliest finish time. Requests arriving at exactly the same instant
+// should be submitted together via SubmitBatch, which computes an optimal
+// joint assignment (with remapping) before scheduling.
+type Online struct {
+	service  float64 // per-block service time (e.g. 0.132507 ms)
+	n        int
+	nextFree []float64
+	busy     []float64 // cumulative service time per device
+}
+
+// NewOnline creates an online scheduler for n devices with the given
+// per-block service time.
+func NewOnline(n int, service float64) *Online {
+	if n < 1 || service <= 0 {
+		panic(fmt.Sprintf("retrieval: invalid online scheduler (n=%d, service=%g)", n, service))
+	}
+	return &Online{service: service, n: n, nextFree: make([]float64, n), busy: make([]float64, n)}
+}
+
+// Devices returns the device count.
+func (o *Online) Devices() int { return o.n }
+
+// Service returns the per-block service time.
+func (o *Online) Service() float64 { return o.service }
+
+// NextFree returns the time device d becomes idle.
+func (o *Online) NextFree(d int) float64 { return o.nextFree[d] }
+
+// Reset clears all device state.
+func (o *Online) Reset() {
+	for i := range o.nextFree {
+		o.nextFree[i] = 0
+		o.busy[i] = 0
+	}
+}
+
+// BusyTime returns the cumulative service time scheduled on device d.
+func (o *Online) BusyTime(d int) float64 { return o.busy[d] }
+
+// Utilization returns the mean busy fraction of all devices over [0, until].
+func (o *Online) Utilization(until float64) float64 {
+	if until <= 0 {
+		return 0
+	}
+	var total float64
+	for _, b := range o.busy {
+		total += b
+	}
+	return total / (float64(o.n) * until)
+}
+
+// Submit schedules a single request arriving at time t with the given
+// replica devices. An idle device is preferred; otherwise the device with
+// the earliest finish time is used.
+func (o *Online) Submit(t float64, replicas []int) Completion {
+	return o.SubmitFor(t, replicas, o.service)
+}
+
+// SubmitFor schedules like Submit with an explicit service duration —
+// used for operations other than the standard block read (e.g. writes).
+func (o *Online) SubmitFor(t float64, replicas []int, service float64) Completion {
+	if len(replicas) == 0 {
+		panic("retrieval: request with no replicas")
+	}
+	if service <= 0 {
+		panic(fmt.Sprintf("retrieval: non-positive service %g", service))
+	}
+	best := replicas[0]
+	bestStart := o.startTime(t, best)
+	for _, d := range replicas[1:] {
+		if s := o.startTime(t, d); s < bestStart {
+			best, bestStart = d, s
+		}
+	}
+	finish := bestStart + service
+	o.nextFree[best] = finish
+	o.busy[best] += service
+	return Completion{Device: best, Start: bestStart, Finish: finish}
+}
+
+func (o *Online) startTime(t float64, d int) float64 {
+	if o.nextFree[d] > t {
+		return o.nextFree[d]
+	}
+	return t
+}
+
+// SubmitBatch schedules requests that arrive at exactly the same time t.
+// The joint assignment is computed with the combined optimal retrieval
+// (greedy + max-flow remapping), then each request is placed on its
+// assigned device behind that device's current queue.
+func (o *Online) SubmitBatch(t float64, replicas [][]int) []Completion {
+	if len(replicas) == 0 {
+		return nil
+	}
+	if len(replicas) == 1 {
+		return []Completion{o.Submit(t, replicas[0])}
+	}
+	res := Optimal(replicas, o.n)
+	out := make([]Completion, len(replicas))
+	for i, d := range res.Assignment {
+		start := o.startTime(t, d)
+		finish := start + o.service
+		o.nextFree[d] = finish
+		o.busy[d] += o.service
+		out[i] = Completion{Device: d, Start: start, Finish: finish}
+	}
+	return out
+}
+
+// IntervalBatch schedules a batch the way the interval-based design-
+// theoretic retrieval does (§IV-B theoretical comparison): requests
+// received during interval [t0, t0+T) are aligned to the start of the next
+// interval t0+T and retrieved there with the optimal joint assignment.
+// Returns the completions relative to the aligned start time.
+func (o *Online) IntervalBatch(alignedStart float64, replicas [][]int) []Completion {
+	if len(replicas) == 0 {
+		return nil
+	}
+	res := Optimal(replicas, o.n)
+	out := make([]Completion, len(replicas))
+	for i, d := range res.Assignment {
+		start := o.startTime(alignedStart, d)
+		finish := start + o.service
+		o.nextFree[d] = finish
+		o.busy[d] += o.service
+		out[i] = Completion{Device: d, Start: start, Finish: finish}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d, want 5", s.N())
+	}
+	if !almostEqual(s.Mean(), 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", s.Mean())
+	}
+	if !almostEqual(s.Var(), 2, 1e-12) {
+		t.Errorf("Var = %v, want 2 (population)", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(-7.5)
+	if s.Mean() != -7.5 || s.Min() != -7.5 || s.Max() != -7.5 || s.Var() != 0 {
+		t.Error("single-sample summary wrong")
+	}
+}
+
+func TestSummaryNegatives(t *testing.T) {
+	var s Summary
+	s.Add(-3)
+	s.Add(-1)
+	if s.Max() != -1 {
+		t.Errorf("Max = %v, want -1 (max must track negative values)", s.Max())
+	}
+	if s.Min() != -3 {
+		t.Errorf("Min = %v, want -3", s.Min())
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var all, a, b Summary
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 5
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Var(), all.Var(), 1e-9) {
+		t.Errorf("merged Var = %v, want %v", a.Var(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged extrema wrong")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Error("merge with empty changed N")
+	}
+	var c Summary
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 1 {
+		t.Error("merge into empty wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(data, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(data, 100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := Percentile(data, 50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := Percentile(data, 25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	// Interpolation: P10 of [1..5] = 1.4
+	if got := Percentile(data, 10); !almostEqual(got, 1.4, 1e-12) {
+		t.Errorf("P10 = %v, want 1.4", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Error("single-element percentile should be the element")
+	}
+	// Out-of-range p clamps.
+	if Percentile(data, -5) != 1 || Percentile(data, 150) != 5 {
+		t.Error("percentile clamping wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for x := 0.5; x < 10; x++ {
+		h.Add(x)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+	for i := 0; i < 5; i++ {
+		if h.Counts[i] != 2 {
+			t.Errorf("bin %d = %d, want 2", i, h.Counts[i])
+		}
+		if !almostEqual(h.Fraction(i), 0.2, 1e-12) {
+			t.Errorf("Fraction(%d) = %v, want 0.2", i, h.Fraction(i))
+		}
+	}
+	// Clamping.
+	h.Add(-1)
+	h.Add(100)
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Error("out-of-range samples should clamp to edge bins")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(3)
+	s.Add(0, 1)
+	s.Add(0, 3)
+	s.Add(2, 10)
+	s.Add(5, 7) // grows
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	means := s.Means()
+	if means[0] != 2 || means[2] != 10 || means[5] != 7 || means[1] != 0 {
+		t.Errorf("Means = %v", means)
+	}
+	maxes := s.Maxes()
+	if maxes[0] != 3 {
+		t.Errorf("Maxes[0] = %v, want 3", maxes[0])
+	}
+	all := s.Overall()
+	if all.N() != 4 {
+		t.Errorf("Overall N = %d, want 4", all.N())
+	}
+	if !almostEqual(all.Mean(), 21.0/4, 1e-12) {
+		t.Errorf("Overall mean = %v, want 5.25", all.Mean())
+	}
+}
+
+func TestMeanMaxOf(t *testing.T) {
+	if MeanOf(nil) != 0 || MaxOf(nil) != 0 {
+		t.Error("empty helpers should return 0")
+	}
+	if MeanOf([]float64{2, 4}) != 3 {
+		t.Error("MeanOf wrong")
+	}
+	if MaxOf([]float64{-2, -4}) != -2 {
+		t.Error("MaxOf wrong on negatives")
+	}
+}
+
+// Property: Welford mean/var match the two-pass formulas.
+func TestQuickWelford(t *testing.T) {
+	prop := func(xs []float64) bool {
+		// Filter out NaN/Inf inputs that quick may generate.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Summary
+		for _, x := range clean {
+			s.Add(x)
+		}
+		mean := MeanOf(clean)
+		var v float64
+		for _, x := range clean {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(clean))
+		scale := math.Max(1, math.Abs(mean))
+		return almostEqual(s.Mean(), mean, 1e-6*scale) && almostEqual(s.Var(), v, 1e-4*math.Max(1, v))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 1000))
+	}
+}

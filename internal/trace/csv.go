@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The SNIA/MSR-Cambridge CSV format used by the paper's original
+// workloads (block I/O traces from iotta.snia.org):
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is in Windows filetime (100 ns ticks); Offset and Size are in
+// bytes; Type is "Read" or "Write".
+
+// WriteCSV exports a trace in the SNIA/MSR-Cambridge CSV format, the
+// inverse of ReadCSV (response time column written as 0 — the simulator
+// computes it).
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		op := "Read"
+		if r.Write {
+			op = "Write"
+		}
+		ticks := int64(r.Arrival * 10000) // ms -> 100ns ticks
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%s,%d,%d,0\n",
+			ticks, t.Name, r.Device, op, r.Block*BlockSize, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace in the SNIA/MSR-Cambridge CSV format. Offsets
+// are converted to 8 KB-aligned block numbers (multi-block requests are
+// split, as the paper aligns requests to 8 KB), timestamps are rebased to
+// milliseconds from the first record, and a header line is skipped.
+// intervalMS sets the reporting-interval length of the returned trace
+// (e.g. 15 minutes = 900000).
+func ReadCSV(r io.Reader, intervalMS float64) (*Trace, error) {
+	if intervalMS <= 0 {
+		return nil, fmt.Errorf("trace: intervalMS must be positive")
+	}
+	t := &Trace{Name: "csv", IntervalMS: intervalMS}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	var base int64 = -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if lineNo == 1 && len(fields) > 0 && strings.EqualFold(strings.TrimSpace(fields[0]), "timestamp") {
+			continue // header
+		}
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("trace: csv line %d: want >= 6 fields, got %d", lineNo, len(fields))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad timestamp: %v", lineNo, err)
+		}
+		disk, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad disk number: %v", lineNo, err)
+		}
+		op := strings.ToLower(strings.TrimSpace(fields[3]))
+		var write bool
+		switch op {
+		case "read", "r":
+			write = false
+		case "write", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: csv line %d: bad type %q", lineNo, fields[3])
+		}
+		offset, err := strconv.ParseInt(strings.TrimSpace(fields[4]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad offset: %v", lineNo, err)
+		}
+		size, err := strconv.Atoi(strings.TrimSpace(fields[5]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad size: %v", lineNo, err)
+		}
+		if base < 0 {
+			base = ts
+		}
+		arrivalMS := float64(ts-base) / 10000 // 100ns ticks -> ms
+		// Align to 8 KB blocks, splitting multi-block requests the way the
+		// paper does ("the requests are aligned to 8KB of block sizes").
+		first := offset / BlockSize
+		last := (offset + int64(size) - 1) / BlockSize
+		if size <= 0 {
+			last = first
+		}
+		for b := first; b <= last; b++ {
+			t.Records = append(t.Records, Record{
+				Arrival: arrivalMS,
+				Device:  disk,
+				Block:   b,
+				Size:    BlockSize,
+				Write:   write,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	t.Sort()
+	return t, nil
+}

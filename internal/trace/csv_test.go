@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := `Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+128166372003061629,exchange,0,Read,8192,8192,100
+128166372003161629,exchange,1,Write,16384,8192,200
+128166372004061629,exchange,2,Read,0,8192,50
+`
+	tr, err := ReadCSV(strings.NewReader(in), 900000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(tr.Records))
+	}
+	r0 := tr.Records[0]
+	if r0.Arrival != 0 {
+		t.Errorf("first arrival %g, want rebased 0", r0.Arrival)
+	}
+	if r0.Block != 1 || r0.Device != 0 || r0.Write {
+		t.Errorf("first record wrong: %+v", r0)
+	}
+	// Second record: 100000 ticks later = 10 ms.
+	r1 := tr.Records[1]
+	if r1.Arrival != 10 || !r1.Write || r1.Block != 2 {
+		t.Errorf("second record wrong: %+v", r1)
+	}
+	if tr.IntervalMS != 900000 {
+		t.Error("interval not set")
+	}
+}
+
+func TestReadCSVMultiBlockSplit(t *testing.T) {
+	// A 32 KB read at offset 4096 spans blocks 0..4 (4096..36863).
+	in := "128166372003061629,h,0,Read,4096,32768,1\n"
+	tr, err := ReadCSV(strings.NewReader(in), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 5 {
+		t.Fatalf("got %d aligned records, want 5", len(tr.Records))
+	}
+	for i, r := range tr.Records {
+		if r.Block != int64(i) {
+			t.Errorf("record %d block %d, want %d", i, r.Block, i)
+		}
+		if r.Size != BlockSize {
+			t.Errorf("record %d size %d", i, r.Size)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"1,h,0,Read,0\n",       // too few fields
+		"x,h,0,Read,0,8192\n",  // bad timestamp
+		"1,h,x,Read,0,8192\n",  // bad disk
+		"1,h,0,Bogus,0,8192\n", // bad type
+		"1,h,0,Read,x,8192\n",  // bad offset
+		"1,h,0,Read,0,x\n",     // bad size
+	}
+	for _, in := range bad {
+		if _, err := ReadCSV(strings.NewReader(in), 1000); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader(""), 0); err == nil {
+		t.Error("zero interval should fail")
+	}
+	// Comments, blank lines, lowercase ops are fine.
+	tr, err := ReadCSV(strings.NewReader("# c\n\n1,h,0,r,0,8192,9\n2,h,0,w,8192,8192,9\n"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 || tr.Records[0].Write || !tr.Records[1].Write {
+		t.Errorf("lenient parse wrong: %+v", tr.Records)
+	}
+}
+
+func TestReadCSVSortsByArrival(t *testing.T) {
+	in := "200000,h,0,Read,0,8192,1\n100000,h,0,Read,8192,8192,1\n"
+	tr, err := ReadCSV(strings.NewReader(in), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records[0].Arrival > tr.Records[1].Arrival {
+		t.Error("records not sorted by arrival")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "x", IntervalMS: 1000}
+	orig.Records = []Record{
+		{Arrival: 0, Device: 0, Block: 1, Size: BlockSize},
+		{Arrival: 10, Device: 2, Block: 7, Size: BlockSize, Write: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("got %d records", len(got.Records))
+	}
+	for i := range got.Records {
+		a, b := got.Records[i], orig.Records[i]
+		if a.Block != b.Block || a.Device != b.Device || a.Write != b.Write {
+			t.Errorf("record %d: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.Arrival-b.Arrival) > 1e-3 {
+			t.Errorf("record %d arrival %g vs %g", i, a.Arrival, b.Arrival)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The ASCII format is one request per line, DiskSim-style:
+//
+//	<arrival-ms> <device> <block> <size-bytes> <R|W>
+//
+// Lines starting with '#' are comments; a leading "# interval-ms <v>" and
+// "# name <s>" header carries trace metadata.
+
+// Write serializes a trace in ASCII format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if t.Name != "" {
+		if _, err := fmt.Fprintf(bw, "# name %s\n", t.Name); err != nil {
+			return err
+		}
+	}
+	if t.IntervalMS > 0 {
+		if _, err := fmt.Fprintf(bw, "# interval-ms %g\n", t.IntervalMS); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Records {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%.6f %d %d %d %s\n", r.Arrival, r.Device, r.Block, r.Size, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses an ASCII trace.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) == 2 {
+				switch fields[0] {
+				case "name":
+					t.Name = fields[1]
+				case "interval-ms":
+					v, err := strconv.ParseFloat(fields[1], 64)
+					if err != nil {
+						return nil, fmt.Errorf("trace: line %d: bad interval-ms: %v", lineNo, err)
+					}
+					t.IntervalMS = v
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		arrival, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad arrival: %v", lineNo, err)
+		}
+		dev, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad device: %v", lineNo, err)
+		}
+		block, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad block: %v", lineNo, err)
+		}
+		size, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %v", lineNo, err)
+		}
+		var write bool
+		switch fields[4] {
+		case "R", "r":
+			write = false
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[4])
+		}
+		t.Records = append(t.Records, Record{Arrival: arrival, Device: dev, Block: block, Size: size, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the trace parser never panics on arbitrary input
+// and that anything it accepts survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("1.0 0 5 8192 R\n")
+	f.Add("# name x\n# interval-ms 10\n0.5 2 3 8192 W\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("1.0 0 5 8192 R\n2.0 1 6 8192 W\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write of accepted trace failed: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of written trace failed: %v", err)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(tr.Records), len(tr2.Records))
+		}
+	})
+}

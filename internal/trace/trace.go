@@ -1,0 +1,130 @@
+// Package trace provides the I/O trace infrastructure of the paper's
+// evaluation (§V-B): a DiskSim-style ASCII record format with reader and
+// writer, the synthetic workload generator of §V-B1, and synthesizers that
+// stand in for the SNIA Exchange and TPC-E server traces (§V-B2). The
+// synthesizers reproduce the statistics the experiments consume — interval
+// structure, arrival intensity, block popularity and cross-interval pair
+// locality — at a laptop-friendly scale (see DESIGN.md for the
+// substitution argument).
+//
+// Times are in milliseconds, block addresses are 8 KB-aligned logical block
+// numbers, matching the paper's alignment of all requests to DiskSim's 8 KB
+// blocks.
+package trace
+
+import (
+	"sort"
+)
+
+// BlockSize is the request size used throughout the paper (8 KB).
+const BlockSize = 8192
+
+// Record is one I/O request.
+type Record struct {
+	Arrival float64 // ms since trace start
+	Device  int     // volume/device hint from the original trace
+	Block   int64   // logical block number (8 KB units)
+	Size    int     // bytes (BlockSize unless stated otherwise)
+	Write   bool    // false = read (the paper's experiments use reads)
+}
+
+// Trace is a sequence of records broken into fixed reporting intervals
+// (15-minute intervals for Exchange, 10–16-minute parts for TPC-E; scaled
+// in the synthesizers).
+type Trace struct {
+	Name       string
+	Records    []Record // sorted by Arrival
+	IntervalMS float64  // reporting-interval length
+}
+
+// Sort orders records by arrival time (stable).
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Records, func(i, j int) bool { return t.Records[i].Arrival < t.Records[j].Arrival })
+}
+
+// NumIntervals returns the number of reporting intervals covered.
+func (t *Trace) NumIntervals() int {
+	if len(t.Records) == 0 || t.IntervalMS <= 0 {
+		return 0
+	}
+	last := t.Records[len(t.Records)-1].Arrival
+	return int(last/t.IntervalMS) + 1
+}
+
+// IntervalOf returns the reporting interval index of a record.
+func (t *Trace) IntervalOf(r Record) int {
+	if t.IntervalMS <= 0 {
+		return 0
+	}
+	return int(r.Arrival / t.IntervalMS)
+}
+
+// Interval returns the records of reporting interval i (a subslice; do not
+// modify). Records must be sorted.
+func (t *Trace) Interval(i int) []Record {
+	lo := sort.Search(len(t.Records), func(j int) bool {
+		return t.Records[j].Arrival >= float64(i)*t.IntervalMS
+	})
+	hi := sort.Search(len(t.Records), func(j int) bool {
+		return t.Records[j].Arrival >= float64(i+1)*t.IntervalMS
+	})
+	return t.Records[lo:hi]
+}
+
+// IntervalStats summarizes one reporting interval the way the paper's Fig 6
+// does: total reads, and the average and maximum per-second read rate.
+type IntervalStats struct {
+	Interval  int
+	Total     int     // total read requests in the interval
+	AvgPerSec float64 // total / interval duration
+	MaxPerSec float64 // peak over 1-second bins (bins shorter than 1 s are scaled)
+}
+
+// Stats computes per-interval statistics (Fig 6). Only reads are counted,
+// like the paper's read-request figures.
+func (t *Trace) Stats() []IntervalStats {
+	n := t.NumIntervals()
+	out := make([]IntervalStats, n)
+	if n == 0 {
+		return out
+	}
+	binMS := 1000.0 // 1-second bins
+	if t.IntervalMS < binMS {
+		binMS = t.IntervalMS / 10 // short synthetic intervals: use 10 bins
+	}
+	for i := 0; i < n; i++ {
+		recs := t.Interval(i)
+		st := IntervalStats{Interval: i}
+		bins := map[int]int{}
+		for _, r := range recs {
+			if r.Write {
+				continue
+			}
+			st.Total++
+			bins[int(r.Arrival/binMS)]++
+		}
+		st.AvgPerSec = float64(st.Total) / (t.IntervalMS / 1000)
+		maxBin := 0
+		for _, c := range bins {
+			if c > maxBin {
+				maxBin = c
+			}
+		}
+		st.MaxPerSec = float64(maxBin) / (binMS / 1000)
+		out[i] = st
+	}
+	return out
+}
+
+// DistinctBlocks returns the distinct block numbers in a record slice.
+func DistinctBlocks(recs []Record) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, r := range recs {
+		if !seen[r.Block] {
+			seen[r.Block] = true
+			out = append(out, r.Block)
+		}
+	}
+	return out
+}

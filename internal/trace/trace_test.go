@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticPaperShape(t *testing.T) {
+	// The §V-C trace: 5 blocks every 0.133 ms, 10000 requests, pool of 36.
+	tr, err := Synthetic(SyntheticConfig{IntervalMS: 0.133, BlocksPerInterval: 5, TotalRequests: 10000, PoolSize: 36, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 10000 {
+		t.Fatalf("got %d records, want 10000", len(tr.Records))
+	}
+	// All requests in a batch share the interval-start arrival.
+	for i, r := range tr.Records {
+		wantAt := float64(i/5) * 0.133
+		if math.Abs(r.Arrival-wantAt) > 1e-9 {
+			t.Fatalf("record %d at %g, want %g", i, r.Arrival, wantAt)
+		}
+		if r.Block < 0 || r.Block >= 36 {
+			t.Fatalf("record %d block %d outside pool", i, r.Block)
+		}
+		if r.Size != BlockSize {
+			t.Fatalf("record %d size %d, want %d", i, r.Size, BlockSize)
+		}
+	}
+	if got := tr.NumIntervals(); got != 2000 {
+		t.Errorf("NumIntervals = %d, want 2000", got)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []SyntheticConfig{
+		{IntervalMS: 0, BlocksPerInterval: 5, TotalRequests: 10, PoolSize: 36},
+		{IntervalMS: 1, BlocksPerInterval: 0, TotalRequests: 10, PoolSize: 36},
+		{IntervalMS: 1, BlocksPerInterval: 5, TotalRequests: 0, PoolSize: 36},
+		{IntervalMS: 1, BlocksPerInterval: 5, TotalRequests: 10, PoolSize: 0},
+		{IntervalMS: 1, BlocksPerInterval: 40, TotalRequests: 10, PoolSize: 36},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestIntervalSlicing(t *testing.T) {
+	tr := &Trace{IntervalMS: 10}
+	for _, at := range []float64{0, 1, 9.99, 10, 15, 25} {
+		tr.Records = append(tr.Records, Record{Arrival: at})
+	}
+	if got := len(tr.Interval(0)); got != 3 {
+		t.Errorf("interval 0 has %d records, want 3", got)
+	}
+	if got := len(tr.Interval(1)); got != 2 {
+		t.Errorf("interval 1 has %d records, want 2", got)
+	}
+	if got := len(tr.Interval(2)); got != 1 {
+		t.Errorf("interval 2 has %d records, want 1", got)
+	}
+	if got := len(tr.Interval(5)); got != 0 {
+		t.Errorf("out-of-range interval has %d records, want 0", got)
+	}
+	if tr.NumIntervals() != 3 {
+		t.Errorf("NumIntervals = %d, want 3", tr.NumIntervals())
+	}
+	if tr.IntervalOf(Record{Arrival: 15}) != 1 {
+		t.Error("IntervalOf wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := &Trace{IntervalMS: 2000} // two 2-second intervals
+	// Interval 0: 10 reads in the first second, 0 after → max 10/s, avg 5/s.
+	for i := 0; i < 10; i++ {
+		tr.Records = append(tr.Records, Record{Arrival: float64(i) * 50})
+	}
+	// Interval 1: 4 reads + 2 writes (writes not counted).
+	for i := 0; i < 4; i++ {
+		tr.Records = append(tr.Records, Record{Arrival: 2000 + float64(i)*400})
+	}
+	tr.Records = append(tr.Records, Record{Arrival: 2100, Write: true}, Record{Arrival: 2200, Write: true})
+	tr.Sort()
+	st := tr.Stats()
+	if len(st) != 2 {
+		t.Fatalf("got %d stats, want 2", len(st))
+	}
+	if st[0].Total != 10 || st[1].Total != 4 {
+		t.Errorf("totals = %d/%d, want 10/4", st[0].Total, st[1].Total)
+	}
+	if math.Abs(st[0].AvgPerSec-5) > 1e-9 {
+		t.Errorf("avg/s = %g, want 5", st[0].AvgPerSec)
+	}
+	if st[0].MaxPerSec < st[0].AvgPerSec {
+		t.Error("max rate below average rate")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	tr := &Trace{IntervalMS: 10}
+	if len(tr.Stats()) != 0 {
+		t.Error("empty trace should have no stats")
+	}
+}
+
+func TestRoundTripFormat(t *testing.T) {
+	tr, err := Synthetic(SyntheticConfig{IntervalMS: 0.133, BlocksPerInterval: 5, TotalRequests: 100, PoolSize: 36, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Records[3].Write = true
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.IntervalMS != tr.IntervalMS {
+		t.Errorf("metadata lost: %q %g", got.Name, got.IntervalMS)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d, want %d", len(got.Records), len(tr.Records))
+	}
+	for i := range got.Records {
+		a, b := got.Records[i], tr.Records[i]
+		if math.Abs(a.Arrival-b.Arrival) > 1e-6 || a.Block != b.Block || a.Size != b.Size || a.Write != b.Write || a.Device != b.Device {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1.0 0 5 8192",          // too few fields
+		"x 0 5 8192 R",          // bad arrival
+		"1.0 x 5 8192 R",        // bad device
+		"1.0 0 x 8192 R",        // bad block
+		"1.0 0 5 x R",           // bad size
+		"1.0 0 5 8192 Q",        // bad op
+		"# interval-ms notanum", // bad header
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	tr, err := Read(strings.NewReader("# hello comment\n\n1.0 2 3 8192 W\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || !tr.Records[0].Write {
+		t.Error("valid input parsed wrong")
+	}
+}
+
+func TestExchangeLikeShape(t *testing.T) {
+	tr, err := ExchangeLike(1, 0.25) // quarter scale for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIntervals() > 96 || tr.NumIntervals() < 90 {
+		t.Errorf("intervals = %d, want ~96", tr.NumIntervals())
+	}
+	st := tr.Stats()
+	// Diurnal shape: mid-trace rate well above edges.
+	edge := (st[0].AvgPerSec + st[len(st)-1].AvgPerSec) / 2
+	mid := st[len(st)/2].AvgPerSec
+	if mid < 2*edge {
+		t.Errorf("no diurnal shape: edge %g mid %g", edge, mid)
+	}
+	// Devices within the 9 volumes.
+	for _, r := range tr.Records[:100] {
+		if r.Device < 0 || r.Device >= 9 {
+			t.Fatalf("device %d outside 9 volumes", r.Device)
+		}
+	}
+	// Sorted arrivals.
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Arrival < tr.Records[i-1].Arrival {
+			t.Fatal("trace not sorted")
+		}
+	}
+}
+
+func TestTPCELikeShape(t *testing.T) {
+	tr, err := TPCELike(1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIntervals() != 6 {
+		t.Errorf("intervals = %d, want 6", tr.NumIntervals())
+	}
+	st := tr.Stats()
+	// Flat: every interval within 2x of the mean.
+	var mean float64
+	for _, s := range st {
+		mean += s.AvgPerSec
+	}
+	mean /= float64(len(st))
+	for _, s := range st {
+		if s.AvgPerSec < mean/2 || s.AvgPerSec > mean*2 {
+			t.Errorf("interval %d rate %g far from mean %g (should be flat)", s.Interval, s.AvgPerSec, mean)
+		}
+	}
+	for _, r := range tr.Records[:100] {
+		if r.Device < 0 || r.Device >= 13 {
+			t.Fatalf("device %d outside 13 volumes", r.Device)
+		}
+	}
+}
+
+func TestTPCEHotSetPersistence(t *testing.T) {
+	// The TPC-E synthesizer must carry most of its hot set across
+	// intervals: a large fraction of interval-i blocks reappear in i+1.
+	tr, err := TPCELike(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overlaps []float64
+	for i := 1; i < tr.NumIntervals(); i++ {
+		prev := map[int64]bool{}
+		for _, b := range DistinctBlocks(tr.Interval(i - 1)) {
+			prev[b] = true
+		}
+		cur := DistinctBlocks(tr.Interval(i))
+		if len(cur) == 0 {
+			continue
+		}
+		hit := 0
+		for _, b := range cur {
+			if prev[b] {
+				hit++
+			}
+		}
+		overlaps = append(overlaps, float64(hit)/float64(len(cur)))
+	}
+	var mean float64
+	for _, o := range overlaps {
+		mean += o
+	}
+	mean /= float64(len(overlaps))
+	if mean < 0.5 {
+		t.Errorf("TPC-E block overlap %.2f, want high (> 0.5) persistence", mean)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := WorkloadConfig{
+		Name: "x", Intervals: 2, IntervalMS: 100,
+		RatePerSec: []float64{10, 10}, Volumes: 3, Universe: 100,
+		HotBlocks: 10, HotFrac: 0.5, HotCarry: 0.5, ZipfS: 1.5,
+	}
+	mutate := []func(*WorkloadConfig){
+		func(c *WorkloadConfig) { c.Intervals = 0 },
+		func(c *WorkloadConfig) { c.RatePerSec = []float64{10} },
+		func(c *WorkloadConfig) { c.Volumes = 0 },
+		func(c *WorkloadConfig) { c.HotBlocks = 200 },
+		func(c *WorkloadConfig) { c.HotFrac = 1.5 },
+		func(c *WorkloadConfig) { c.ZipfS = 1.0 },
+	}
+	for i, m := range mutate {
+		c := base
+		c.RatePerSec = append([]float64{}, base.RatePerSec...)
+		m(&c)
+		if _, err := Generate(c); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestDiurnalAndFlatRates(t *testing.T) {
+	d := DiurnalRates(96, 100, 1000, 0, 1)
+	if d[0] > d[48] {
+		t.Error("diurnal curve should peak mid-trace")
+	}
+	if len(d) != 96 {
+		t.Error("length wrong")
+	}
+	f := FlatRates(6, 500, 0, 1)
+	for _, r := range f {
+		if r != 500 {
+			t.Error("flat rates with zero noise should be constant")
+		}
+	}
+}
+
+func TestDistinctBlocks(t *testing.T) {
+	recs := []Record{{Block: 1}, {Block: 2}, {Block: 1}, {Block: 3}}
+	got := DistinctBlocks(recs)
+	if len(got) != 3 {
+		t.Errorf("distinct = %v, want 3 blocks", got)
+	}
+	if DistinctBlocks(nil) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+// Property: generated traces are sorted, in-range, and reproducible by seed.
+func TestQuickGenerateInvariants(t *testing.T) {
+	prop := func(s uint8) bool {
+		seed := int64(s) + 1
+		cfg := WorkloadConfig{
+			Name: "q", Intervals: 3, IntervalMS: 50,
+			RatePerSec: []float64{500, 1000, 700},
+			Volumes:    5, Universe: 1000, HotBlocks: 50,
+			HotFrac: 0.6, HotCarry: 0.5, ZipfS: 1.3, Seed: seed,
+		}
+		t1, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		t2, _ := Generate(cfg)
+		if len(t1.Records) != len(t2.Records) {
+			return false
+		}
+		for i := range t1.Records {
+			if t1.Records[i] != t2.Records[i] {
+				return false
+			}
+			r := t1.Records[i]
+			if r.Arrival < 0 || r.Arrival >= 150 || r.Block < 0 || r.Block >= 1000 || r.Device < 0 || r.Device >= 5 {
+				return false
+			}
+			if i > 0 && r.Arrival < t1.Records[i-1].Arrival {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerateExchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ExchangeLike(int64(i+1), 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
