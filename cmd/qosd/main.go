@@ -1,11 +1,14 @@
 // Command qosd serves a replication-based QoS flash array over TCP — the
 // storage-cloud deployment the paper motivates. Clients submit block reads
 // with a line protocol (see internal/qosnet) and receive admission
-// outcomes and guaranteed response times.
+// outcomes and guaranteed response times. Requests from concurrent
+// connections flow through the lock-free admission pipeline
+// (core.ConcurrentSystem); see the qosnet package docs for the concurrency
+// model and robustness controls.
 //
 // Usage:
 //
-//	qosd -addr :7331 -n 9 -c 3 -m 1
+//	qosd -addr :7331 -n 9 -c 3 -m 1 -max-conns 256 -read-timeout 5m -drain-timeout 5s
 //	printf 'READ 42\nSTATS\nQUIT\n' | nc localhost 7331
 package main
 
@@ -15,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"flashqos/internal/core"
 	"flashqos/internal/qosnet"
@@ -29,6 +33,11 @@ func main() {
 		m       = flag.Int("m", 1, "access guarantee target M")
 		epsilon = flag.Float64("epsilon", 0, "statistical QoS threshold (0 = deterministic)")
 		table   = flag.String("table", "", "cached probability table (from qostable) for statistical QoS")
+
+		maxConns     = flag.Int("max-conns", 256, "max concurrent connections (0 = unlimited); excess get ERR server busy")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-line read deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain before force-closing connections")
+		maxLine      = flag.Int("max-line", qosnet.DefaultMaxLineBytes, "max request-line length in bytes")
 	)
 	flag.Parse()
 
@@ -49,7 +58,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := qosnet.NewServer(sys)
+	srv := qosnet.NewServerOpts(sys, qosnet.Options{
+		MaxConns:     *maxConns,
+		ReadTimeout:  *readTimeout,
+		MaxLineBytes: *maxLine,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -59,12 +72,17 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
+	drained := make(chan error, 1)
 	go func() {
 		<-sig
 		fmt.Println("qosd: shutting down")
-		srv.Close()
+		drained <- srv.Shutdown(*drainTimeout)
 	}()
 	if err := srv.Serve(); err != nil {
 		log.Fatal(err)
 	}
+	if err := <-drained; err != nil {
+		fmt.Printf("qosd: %v\n", err)
+	}
+	fmt.Println("qosd: bye")
 }

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flashqos/internal/admission"
+	"flashqos/internal/design"
+)
+
+func newConcurrent(t testing.TB, cfg Config) *ConcurrentSystem {
+	t.Helper()
+	if cfg.Design == nil && cfg.N == 0 {
+		cfg.Design = design.Paper931()
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewConcurrent(sys)
+}
+
+// TestConcurrentSubmitStress floods a ConcurrentSystem from many
+// goroutines at ~5× the admission capacity S/T and asserts the paper's
+// core invariant survives the concurrency: every request is admitted
+// (Delay policy), no window ever exceeds S admissions, and the guaranteed
+// path holds (service starts exactly at the admitted time, so the
+// response time equals the service time). Run under -race this doubles as
+// the memory-safety proof for the sharded admission path.
+func TestConcurrentSubmitStress(t *testing.T) {
+	cs := newConcurrent(t, Config{})
+	const (
+		goroutines = 16
+		perG       = 250
+		dt         = 0.005 // ms between arrivals → 200 req/ms offered vs ~37.6 capacity
+	)
+	var clock atomic.Int64
+	outs := make([][]Outcome, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g] = make([]Outcome, 0, perG)
+			for i := 0; i < perG; i++ {
+				arrival := float64(clock.Add(1)) * dt
+				out := cs.Submit(arrival, int64(g*1_000_000+i))
+				outs[g] = append(outs[g], out)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := cs.S()
+	perWindow := make(map[int64]int)
+	total := 0
+	for g := range outs {
+		for _, out := range outs[g] {
+			total++
+			if out.Rejected {
+				t.Fatalf("request rejected under Delay policy: %+v", out)
+			}
+			if out.Admitted < 0 {
+				t.Fatalf("negative admit time: %+v", out)
+			}
+			if math.Abs(out.Start-out.Admitted) > 1e-9 {
+				t.Fatalf("guaranteed path violated: start %.9f != admitted %.9f", out.Start, out.Admitted)
+			}
+			if r := out.Response(); math.Abs(r-cs.System().cfg.ServiceMS) > 1e-9 {
+				t.Fatalf("response %.9f != service time %.9f", r, cs.System().cfg.ServiceMS)
+			}
+			perWindow[cs.Window(out.Admitted)]++
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("outcomes = %d, want %d", total, goroutines*perG)
+	}
+	for w, n := range perWindow {
+		if n > s {
+			t.Errorf("window %d admitted %d requests, limit S=%d", w, n, s)
+		}
+	}
+	if max := cs.MaxWindowCount(); max > s {
+		t.Errorf("MaxWindowCount = %d, limit S=%d", max, s)
+	}
+}
+
+// TestConcurrentMixedReadWriteStress mixes reads and writes. A write
+// consumes c admission slots, so the per-window invariant becomes
+// reads(w) + c·writes(w) ≤ S.
+func TestConcurrentMixedReadWriteStress(t *testing.T) {
+	cs := newConcurrent(t, Config{})
+	c := cs.System().Design().C
+	const (
+		goroutines = 12
+		perG       = 120
+	)
+	var clock atomic.Int64
+	type res struct {
+		out   Outcome
+		write bool
+	}
+	results := make([][]res, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				arrival := float64(clock.Add(1)) * 0.01
+				block := int64(rng.Intn(5000))
+				if rng.Intn(4) == 0 {
+					results[g] = append(results[g], res{cs.SubmitWrite(arrival, block), true})
+				} else {
+					results[g] = append(results[g], res{cs.Submit(arrival, block), false})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := cs.S()
+	slots := make(map[int64]int)
+	for g := range results {
+		for _, r := range results[g] {
+			if r.out.Rejected {
+				t.Fatalf("rejected under Delay policy: %+v", r.out)
+			}
+			w := cs.Window(r.out.Admitted)
+			if r.write {
+				slots[w] += c
+			} else {
+				slots[w]++
+			}
+		}
+	}
+	for w, n := range slots {
+		if n > s {
+			t.Errorf("window %d consumed %d slots, limit S=%d", w, n, s)
+		}
+	}
+}
+
+// TestConcurrentRejectPolicy floods one instant with far more requests
+// than one window holds under the Reject policy: no window may exceed S
+// admissions and every request is either admitted or rejected.
+func TestConcurrentRejectPolicy(t *testing.T) {
+	cs := newConcurrent(t, Config{Policy: admission.Reject})
+	const n = 64
+	outs := make([]Outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = cs.Submit(0, int64(i))
+		}(i)
+	}
+	wg.Wait()
+
+	s := cs.S()
+	perWindow := make(map[int64]int)
+	admitted, rejected := 0, 0
+	for _, out := range outs {
+		if out.Rejected {
+			rejected++
+			continue
+		}
+		admitted++
+		perWindow[cs.Window(out.Admitted)]++
+	}
+	if admitted+rejected != n {
+		t.Fatalf("admitted %d + rejected %d != %d", admitted, rejected, n)
+	}
+	if admitted == 0 {
+		t.Fatal("no request admitted at an empty instant")
+	}
+	if rejected == 0 {
+		t.Fatalf("flooding %d simultaneous requests (S=%d) rejected none", n, s)
+	}
+	for w, cnt := range perWindow {
+		if cnt > s {
+			t.Errorf("window %d admitted %d, limit S=%d", w, cnt, s)
+		}
+	}
+}
+
+// TestConcurrentMatchesSequential drives identical request sequences
+// through a sequential System and a single-goroutine ConcurrentSystem and
+// requires bit-identical outcomes: the concurrent admission algorithm is
+// a parallelization of the sequential one, not a different policy.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	for _, policy := range []admission.Policy{admission.Delay, admission.Reject} {
+		seq, err := New(Config{Design: design.Paper931(), Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := newConcurrent(t, Config{Policy: policy})
+
+		rng := rand.New(rand.NewSource(7))
+		const n = 2000
+		arrivals := make([]float64, n)
+		for i := range arrivals {
+			arrivals[i] = rng.Float64() * 20 // ms; dense enough to overflow windows
+		}
+		sort.Float64s(arrivals)
+		for i, arr := range arrivals {
+			block := int64(rng.Intn(3000))
+			write := rng.Intn(8) == 0
+			var a, b Outcome
+			if write {
+				a, b = seq.SubmitWrite(arr, block), cs.SubmitWrite(arr, block)
+			} else {
+				a, b = seq.Submit(arr, block), cs.Submit(arr, block)
+			}
+			if a != b {
+				t.Fatalf("policy %v, request %d (arr=%.6f block=%d write=%v):\nsequential %+v\nconcurrent %+v",
+					policy, i, arr, block, write, a, b)
+			}
+		}
+	}
+}
+
+// TestConcurrentStatisticalSerialized exercises the ε > 0 path, which
+// serializes through the sequential System, from many goroutines — under
+// -race this proves the serial path is actually serialized, including the
+// arrival-clamping that keeps Submit's ordering contract.
+func TestConcurrentStatisticalSerialized(t *testing.T) {
+	cs := newConcurrent(t, Config{Epsilon: 0.05, SampleTrials: 2000})
+	const goroutines, perG = 8, 100
+	var clock atomic.Int64
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				arrival := float64(clock.Add(1)) * 0.01
+				out := cs.Submit(arrival, int64(g*1000+i))
+				if !out.Rejected {
+					admitted.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != goroutines*perG {
+		t.Errorf("admitted %d, want %d (Delay policy rejects nothing)", got, goroutines*perG)
+	}
+	if q := cs.Q(); q < 0 || q > 1 {
+		t.Errorf("Q = %g, want a probability", q)
+	}
+}
+
+// TestConcurrentAccessors sanity-checks the read-only delegates the
+// network layer relies on.
+func TestConcurrentAccessors(t *testing.T) {
+	cs := newConcurrent(t, Config{})
+	if cs.S() != cs.System().S() {
+		t.Errorf("S mismatch: %d vs %d", cs.S(), cs.System().S())
+	}
+	if cs.IntervalMS() != cs.System().cfg.IntervalMS {
+		t.Errorf("IntervalMS mismatch")
+	}
+	if got, want := cs.DesignBlock(100), cs.System().Mapper().DesignBlock(100); got != want {
+		t.Errorf("DesignBlock(100) = %d, want %d", got, want)
+	}
+	reps := cs.Replicas(100)
+	if len(reps) != cs.System().Design().C {
+		t.Errorf("Replicas(100) = %v, want %d devices", reps, cs.System().Design().C)
+	}
+	if q := cs.Q(); q != 0 {
+		t.Errorf("deterministic Q = %g, want 0", q)
+	}
+	if w := cs.Window(0); w != 0 {
+		t.Errorf("Window(0) = %d, want 0", w)
+	}
+}
+
+// TestWindowShardPruning pushes the admission frontier across far more
+// windows than the prune threshold and checks old counters are dropped
+// while the invariant still holds for live ones.
+func TestWindowShardPruning(t *testing.T) {
+	cs := newConcurrent(t, Config{})
+	// Touch many distinct windows directly through the counter path.
+	const windows = windowShardCount * (shardPruneLen + 100)
+	for w := int64(0); w < windows; w += windowShardCount {
+		cs.counter(w).Store(1)
+		cs.hint.Store(w) // frontier far ahead, as sustained overload leaves it
+	}
+	sh := &cs.shards[0]
+	sh.mu.Lock()
+	n := len(sh.counts)
+	sh.mu.Unlock()
+	if n > shardPruneLen+1 {
+		t.Errorf("shard 0 tracks %d windows, prune threshold %d", n, shardPruneLen)
+	}
+}
+
+func BenchmarkConcurrentSubmit(b *testing.B) {
+	cs := newConcurrent(b, Config{})
+	var clock atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			arrival := float64(clock.Add(1)) * 0.005
+			cs.Submit(arrival, i)
+			i++
+		}
+	})
+}

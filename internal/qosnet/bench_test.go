@@ -1,0 +1,83 @@
+package qosnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+)
+
+// BenchmarkServerThroughput floods one Server with 8 concurrent pipelined
+// clients and reports aggregate ops/sec. Each client keeps a window of
+// in-flight READ requests on its own connection, so the measurement stresses
+// the server-side request pipeline (admission, scheduling, stats, response
+// formatting) rather than per-request network round trips.
+func BenchmarkServerThroughput(b *testing.B) {
+	const clients = 8
+	const window = 64 // pipelined requests in flight per connection
+
+	sys, err := core.New(core.Config{Design: design.Paper931()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(sys)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	conns := make([]net.Conn, clients)
+	for i := range conns {
+		conns[i], err = net.Dial("tcp", addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conns[i].Close()
+	}
+
+	// Split b.N across the clients.
+	per := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		per[i] = b.N / clients
+	}
+	per[0] += b.N % clients
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id, n int) {
+			defer wg.Done()
+			conn := conns[id]
+			w := bufio.NewWriter(conn)
+			r := bufio.NewReader(conn)
+			sent, recvd := 0, 0
+			for recvd < n {
+				for sent < n && sent-recvd < window {
+					fmt.Fprintf(w, "READ %d\n", int64(id)*1_000_000+int64(sent))
+					sent++
+				}
+				if err := w.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for recvd < sent {
+					if _, err := r.ReadString('\n'); err != nil {
+						b.Error(err)
+						return
+					}
+					recvd++
+				}
+			}
+		}(i, per[i])
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

@@ -1,0 +1,100 @@
+package qosnet
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+)
+
+// validResponseLine reports whether a server output line is one the
+// protocol documents. METRICS bodies contribute '#'-comments,
+// flashqos_-prefixed samples, and the blank terminator (skipped by the
+// caller).
+func validResponseLine(line string) bool {
+	for _, p := range []string{"OK ", "REJECTED", "MAP ", "STATS ", "ERR ", "# ", "flashqos_"} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzHandle feeds arbitrary bytes through a net.Pipe-backed connection
+// straight into the request handler: whatever the input — garbage
+// commands, huge tokens, empty fields, binary noise — the server must not
+// panic, must answer every complete line with a documented response, and
+// must terminate once QUIT arrives.
+func FuzzHandle(f *testing.F) {
+	seeds := []string{
+		"READ 42\n",
+		"WRITE 1\nSTATS\n",
+		"read 7\n", // lower-case commands are valid
+		"READ\n",
+		"READ abc\n",
+		"READ 1 2 3\n",
+		"READ 999999999999999999999999\n",
+		"READ -5\nMAP -5\n",
+		"MAP 7\nMETRICS\n",
+		"BOGUS 1\n",
+		"\n\n\n",
+		"   \t  \n",
+		"QUIT\nREAD 1\n",
+		strings.Repeat("A", 9000) + "\n",
+		"READ " + strings.Repeat("9", 2000) + "\n",
+		"\x00\xff\xfe garbage \x01\n",
+		"READ 5", // no trailing newline
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := core.New(core.Config{Design: design.Paper931()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512})
+		client, server := net.Pipe()
+		defer client.Close()
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handle(server)
+		}()
+		respDone := make(chan struct{})
+		go func() {
+			defer close(respDone)
+			r := bufio.NewReader(client)
+			for {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				line = strings.TrimRight(line, "\r\n")
+				if line == "" {
+					continue // METRICS terminator
+				}
+				if !validResponseLine(line) {
+					t.Errorf("undocumented response line %q", line)
+				}
+			}
+		}()
+
+		client.SetWriteDeadline(time.Now().Add(3 * time.Second))
+		client.Write(data) // error tolerated: handler may QUIT mid-payload
+		client.Write([]byte("\nQUIT\n"))
+
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("handler did not terminate")
+		}
+		client.Close()
+		<-respDone
+	})
+}

@@ -16,44 +16,126 @@
 // Arrival times are virtual: milliseconds since the server started, read
 // from a monotonic clock, so the simulated array timeline matches real
 // request interleaving.
+//
+// # Concurrency model
+//
+// Connections are handled by one goroutine each and requests flow through a
+// concurrent pipeline with no global serialization:
+//
+//   - Admission runs through core.ConcurrentSystem: per-interval window
+//     counts are sharded atomic counters reserved with a CAS loop, so
+//     submissions only touch shared memory for the window they land in,
+//     and the per-window count never exceeds S. Only the device scheduler
+//     (picking the earliest-finishing replica and marking it busy) sits
+//     behind a short mutex, because device next-free times are one global
+//     resource; see the core.ConcurrentSystem docs for why statistical
+//     mode (ε > 0) additionally serializes admission itself.
+//   - Server counters (requests/delayed/rejected/delay-sum) and the
+//     virtual clock watermark are lock-free atomics; STATS and METRICS
+//     read them without blocking request handlers.
+//   - Each connection owns its bufio reader/writer and response scratch
+//     buffer, so connections never contend on I/O state.
+//
+// Robustness controls (Options): a cap on concurrent connections (excess
+// connections receive "ERR server busy" and are closed), a per-line read
+// deadline, and a maximum request-line length (longer lines are discarded
+// and answered with "ERR line too long"). Shutdown drains in-flight
+// connections for a configurable timeout before force-closing them.
 package qosnet
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flashqos/internal/core"
 )
 
-// Server serves a core.System over TCP. Create with NewServer, then Serve.
-type Server struct {
-	sys   *core.System
-	start time.Time
+// Default robustness limits (see Options).
+const (
+	DefaultMaxLineBytes = 4096
+)
 
-	mu       sync.Mutex
-	lastT    float64
-	requests int64
-	delayed  int64
-	rejected int64
-	delaySum float64
+// ErrForcedClose is returned by Shutdown when the drain timeout expired
+// and remaining connections were force-closed.
+var ErrForcedClose = errors.New("qosnet: drain timeout expired, connections force-closed")
+
+// Options configures the server's backpressure and robustness controls.
+// The zero value means: unlimited connections, no read deadline, and
+// DefaultMaxLineBytes per request line.
+type Options struct {
+	// MaxConns caps concurrent connections; excess connections are sent
+	// "ERR server busy" and closed. 0 means unlimited.
+	MaxConns int
+	// ReadTimeout is the per-line read deadline; a connection idle longer
+	// than this is closed. 0 means no deadline.
+	ReadTimeout time.Duration
+	// MaxLineBytes caps the request line length; longer lines are
+	// discarded and answered with "ERR line too long". 0 means
+	// DefaultMaxLineBytes.
+	MaxLineBytes int
+}
+
+// Server serves a core.System over TCP. Create with NewServer (or
+// NewServerOpts), then Serve.
+type Server struct {
+	sys   *core.ConcurrentSystem
+	start time.Time
+	opts  Options
+
+	lastT    atomic.Uint64 // float64 bits: virtual-clock watermark
+	requests atomic.Int64
+	delayed  atomic.Int64
+	rejected atomic.Int64
+	delaySum atomic.Uint64 // float64 bits, CAS-accumulated
+	busy     atomic.Int64  // connections rejected by the MaxConns cap
 
 	lis      net.Listener
 	closed   chan struct{}
 	connWG   sync.WaitGroup
 	closeOne sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	sem    chan struct{} // MaxConns semaphore (nil = unlimited)
 }
 
-// NewServer wraps a QoS system. The system must not be used concurrently
-// elsewhere.
+// NewServer wraps a QoS system with default Options. The system must not
+// be used concurrently elsewhere.
 func NewServer(sys *core.System) *Server {
-	return &Server{sys: sys, start: time.Now(), closed: make(chan struct{})}
+	return NewServerOpts(sys, Options{})
 }
+
+// NewServerOpts wraps a QoS system with explicit robustness options.
+func NewServerOpts(sys *core.System, opts Options) *Server {
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = DefaultMaxLineBytes
+	}
+	s := &Server{
+		sys:    core.NewConcurrent(sys),
+		start:  time.Now(),
+		opts:   opts,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if opts.MaxConns > 0 {
+		s.sem = make(chan struct{}, opts.MaxConns)
+	}
+	return s
+}
+
+// System returns the concurrent admission front-end (for inspection and
+// tests).
+func (s *Server) System() *core.ConcurrentSystem { return s.sys }
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and returns the
 // bound address.
@@ -66,7 +148,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return lis.Addr(), nil
 }
 
-// Serve accepts connections until Close. Call after Listen.
+// Serve accepts connections until Close/Shutdown. Call after Listen.
 func (s *Server) Serve() error {
 	if s.lis == nil {
 		return errors.New("qosnet: Serve before Listen")
@@ -82,15 +164,44 @@ func (s *Server) Serve() error {
 				return err
 			}
 		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				// Over the connection cap: refuse quickly instead of
+				// queueing unbounded work.
+				s.busy.Add(1)
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				io.WriteString(conn, "ERR server busy\n")
+				conn.Close()
+				continue
+			}
+		}
+		s.track(conn, true)
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
+			defer s.track(conn, false)
+			if s.sem != nil {
+				defer func() { <-s.sem }()
+			}
 			s.handle(conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+func (s *Server) track(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.connMu.Unlock()
+}
+
+// Close stops the listener. In-flight connections keep being served; use
+// Shutdown to wait for them (with an optional drain timeout).
 func (s *Server) Close() {
 	s.closeOne.Do(func() {
 		close(s.closed)
@@ -100,22 +211,130 @@ func (s *Server) Close() {
 	})
 }
 
-// now returns the virtual arrival time in ms, forced non-decreasing.
+// Shutdown stops the listener and waits for in-flight connections to
+// finish. If drain > 0 and connections are still open when it expires,
+// they are force-closed and ErrForcedClose is returned. drain <= 0 waits
+// indefinitely.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.Close()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	if drain <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(drain):
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		return ErrForcedClose
+	}
+}
+
+// now returns the virtual arrival time in ms, forced non-decreasing across
+// all connections with a CAS loop on the watermark — safe to call from any
+// goroutine.
 func (s *Server) now() float64 {
 	t := float64(time.Since(s.start)) / float64(time.Millisecond)
-	if t < s.lastT {
-		t = s.lastT
+	for {
+		old := s.lastT.Load()
+		if last := math.Float64frombits(old); t <= last {
+			return last
+		}
+		if s.lastT.CompareAndSwap(old, math.Float64bits(t)) {
+			return t
+		}
 	}
-	s.lastT = t
-	return t
+}
+
+// addDelay accumulates a delay into the float64 sum with a CAS loop.
+func (s *Server) addDelay(d float64) {
+	for {
+		old := s.delaySum.Load()
+		v := math.Float64frombits(old) + d
+		if s.delaySum.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (s *Server) delaySumMS() float64 { return math.Float64frombits(s.delaySum.Load()) }
+
+// readLine reads one newline-terminated line of at most max bytes. An
+// over-long line is discarded through the next newline and reported via
+// tooLong. A final unterminated line before EOF is returned as a line; the
+// next call then reports io.EOF.
+func readLine(r *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			if err == io.EOF && len(buf) > 0 && !tooLongLen(buf, max) {
+				return buf, false, nil
+			}
+			return nil, tooLongLen(buf, max), err
+		}
+		if tooLongLen(buf, max) {
+			// Discard the remainder of the oversized line.
+			for {
+				_, err := r.ReadSlice('\n')
+				if err == nil || err != bufio.ErrBufferFull {
+					return nil, true, err
+				}
+			}
+		}
+	}
+	if tooLongLen(buf, max) {
+		return nil, true, nil
+	}
+	return buf, false, nil
+}
+
+func tooLongLen(buf []byte, max int) bool {
+	n := len(buf)
+	if n > 0 && buf[n-1] == '\n' {
+		n--
+		if n > 0 && buf[n-1] == '\r' {
+			n--
+		}
+	}
+	return n > max
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
+	r := bufio.NewReaderSize(conn, 4096)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	scratch := make([]byte, 0, 128) // per-connection response buffer
+	for {
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		raw, tooLong, err := readLine(r, s.opts.MaxLineBytes)
+		if tooLong {
+			fmt.Fprintln(w, "ERR line too long")
+			if w.Flush() != nil || err != nil {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		line := strings.TrimSpace(string(raw))
 		if line == "" {
 			continue
 		}
@@ -131,25 +350,24 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad block: %v\n", err)
 				break
 			}
-			s.mu.Lock()
 			var out core.Outcome
 			if strings.ToUpper(fields[0]) == "WRITE" {
 				out = s.sys.SubmitWrite(s.now(), block)
 			} else {
 				out = s.sys.Submit(s.now(), block)
 			}
-			s.requests++
+			s.requests.Add(1)
 			if out.Rejected {
-				s.rejected++
+				s.rejected.Add(1)
 			} else if out.Delayed {
-				s.delayed++
-				s.delaySum += out.Delay
+				s.delayed.Add(1)
+				s.addDelay(out.Delay)
 			}
-			s.mu.Unlock()
 			if out.Rejected {
 				fmt.Fprintln(w, "REJECTED")
 			} else {
-				fmt.Fprintf(w, "OK %d %.6f %.6f %v\n", out.Device, out.Delay, out.Response(), out.Delayed)
+				scratch = appendOutcome(scratch[:0], out)
+				w.Write(scratch)
 			}
 		case "MAP":
 			if len(fields) != 2 {
@@ -161,38 +379,38 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad block: %v\n", err)
 				break
 			}
-			s.mu.Lock()
-			db := s.sys.Mapper().DesignBlock(block)
+			db := s.sys.DesignBlock(block)
 			reps := s.sys.Replicas(block)
-			s.mu.Unlock()
-			fmt.Fprintf(w, "MAP %d", db)
+			scratch = append(scratch[:0], "MAP "...)
+			scratch = strconv.AppendInt(scratch, int64(db), 10)
 			for _, d := range reps {
-				fmt.Fprintf(w, " %d", d)
+				scratch = append(scratch, ' ')
+				scratch = strconv.AppendInt(scratch, int64(d), 10)
 			}
-			fmt.Fprintln(w)
+			scratch = append(scratch, '\n')
+			w.Write(scratch)
 		case "STATS":
-			s.mu.Lock()
+			req, del, rej := s.requests.Load(), s.delayed.Load(), s.rejected.Load()
 			avg := 0.0
-			if s.delayed > 0 {
-				avg = s.delaySum / float64(s.delayed)
+			if del > 0 {
+				avg = s.delaySumMS() / float64(del)
 			}
-			fmt.Fprintf(w, "STATS %d %d %d %.6f\n", s.requests, s.delayed, s.rejected, avg)
-			s.mu.Unlock()
+			fmt.Fprintf(w, "STATS %d %d %d %.6f\n", req, del, rej, avg)
 		case "METRICS":
-			s.mu.Lock()
 			fmt.Fprintf(w, "# TYPE flashqos_requests_total counter\n")
-			fmt.Fprintf(w, "flashqos_requests_total %d\n", s.requests)
+			fmt.Fprintf(w, "flashqos_requests_total %d\n", s.requests.Load())
 			fmt.Fprintf(w, "# TYPE flashqos_delayed_total counter\n")
-			fmt.Fprintf(w, "flashqos_delayed_total %d\n", s.delayed)
+			fmt.Fprintf(w, "flashqos_delayed_total %d\n", s.delayed.Load())
 			fmt.Fprintf(w, "# TYPE flashqos_rejected_total counter\n")
-			fmt.Fprintf(w, "flashqos_rejected_total %d\n", s.rejected)
+			fmt.Fprintf(w, "flashqos_rejected_total %d\n", s.rejected.Load())
 			fmt.Fprintf(w, "# TYPE flashqos_delay_ms_sum counter\n")
-			fmt.Fprintf(w, "flashqos_delay_ms_sum %.6f\n", s.delaySum)
+			fmt.Fprintf(w, "flashqos_delay_ms_sum %.6f\n", s.delaySumMS())
+			fmt.Fprintf(w, "# TYPE flashqos_busy_rejected_total counter\n")
+			fmt.Fprintf(w, "flashqos_busy_rejected_total %d\n", s.busy.Load())
 			fmt.Fprintf(w, "# TYPE flashqos_admission_limit gauge\n")
 			fmt.Fprintf(w, "flashqos_admission_limit %d\n", s.sys.S())
 			fmt.Fprintf(w, "# TYPE flashqos_q_estimate gauge\n")
 			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.sys.Q())
-			s.mu.Unlock()
 			fmt.Fprintln(w)
 		case "QUIT":
 			w.Flush()
@@ -200,10 +418,45 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}
-		if err := w.Flush(); err != nil {
-			return
+		// Batch responses to pipelined clients: only pay the write
+		// syscall when the read buffer holds no further complete request,
+		// so a deep pipeline costs one flush per burst instead of one per
+		// request.
+		if !moreRequestsBuffered(r) {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
+}
+
+// moreRequestsBuffered reports whether the reader already holds another
+// complete (newline-terminated) request. A buffered partial line does not
+// count: the next readLine could block on the network, and responses must
+// be flushed before that.
+func moreRequestsBuffered(r *bufio.Reader) bool {
+	n := r.Buffered()
+	if n == 0 {
+		return false
+	}
+	b, err := r.Peek(n)
+	if err != nil {
+		return false
+	}
+	return bytes.IndexByte(b, '\n') >= 0
+}
+
+// appendOutcome formats the OK response without fmt (the hot path).
+func appendOutcome(buf []byte, out core.Outcome) []byte {
+	buf = append(buf, "OK "...)
+	buf = strconv.AppendInt(buf, int64(out.Device), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, out.Delay, 'f', 6, 64)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, out.Response(), 'f', 6, 64)
+	buf = append(buf, ' ')
+	buf = strconv.AppendBool(buf, out.Delayed)
+	return append(buf, '\n')
 }
 
 // Client is a minimal client for the protocol.
