@@ -102,6 +102,7 @@ func AblationSchemes(size, trials int, seed int64) ([]SchemeCostRow, error) {
 		for _, a := range schemes {
 			row := SchemeCostRow{Scheme: a.Name(), Query: q, Size: size}
 			var sum stats.Summary
+			solver := maxflow.NewSolver(size, a.Devices()) // reused across trials
 			for t := 0; t < trials; t++ {
 				replicas := make([][]int, size)
 				switch q {
@@ -116,7 +117,7 @@ func AblationSchemes(size, trials int, seed int64) ([]SchemeCostRow, error) {
 						replicas[i] = a.Replicas((start + i) % pool)
 					}
 				}
-				m, _ := maxflow.MinAccesses(replicas, a.Devices())
+				m, _ := solver.Solve(replicas, a.Devices())
 				sum.Add(float64(m))
 				if m > row.MaxCost {
 					row.MaxCost = m
@@ -180,6 +181,7 @@ func AblationMaxflow(maxSize, trials int, seed int64) ([]MaxflowAblationRow, err
 	}
 	rng := newRand(seed)
 	var rows []MaxflowAblationRow
+	sched := retrieval.NewScheduler() // reused across sizes and trials
 	for size := 1; size <= maxSize; size++ {
 		row := MaxflowAblationRow{Size: size}
 		fallback, worse := 0, 0
@@ -189,8 +191,8 @@ func AblationMaxflow(maxSize, trials int, seed int64) ([]MaxflowAblationRow, err
 			for i := range replicas {
 				replicas[i] = dt.Replicas(rng.Intn(36))
 			}
-			g := retrieval.Greedy(replicas, 9).Accesses
-			o := retrieval.Optimal(replicas, 9).Accesses
+			g := sched.Greedy(replicas, 9).Accesses
+			o := sched.Optimal(replicas, 9).Accesses
 			lb := (size + 8) / 9
 			if g > lb {
 				fallback++

@@ -108,10 +108,11 @@ func TableIIRetrievalComparison(trials int, seed int64) ([]TableIIRow, error) {
 	}
 	rng := newRand(seed)
 	rows := make([]TableIIRow, 6)
+	sched := retrieval.NewScheduler() // reused across sizes and trials
 	for s := 1; s <= 6; s++ {
 		row := TableIIRow{S: s, DTRMin: 1 << 30, OLRMin: 1 << 30, Trials: trials}
 		probe := func(replicas [][]int) {
-			dtr := retrieval.Optimal(replicas, 9).Accesses
+			dtr := sched.Optimal(replicas, 9).Accesses
 			olr := retrieval.SequentialAccesses(replicas, 9)
 			row.DTRMin = min(row.DTRMin, dtr)
 			row.DTRMax = max(row.DTRMax, dtr)

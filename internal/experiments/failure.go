@@ -33,6 +33,7 @@ func AblationFailure(maxFailed, trials int, seed int64) ([]FailureRow, error) {
 	}
 	rng := newRand(seed)
 	var rows []FailureRow
+	solver := maxflow.NewSolver(5, 9) // reused across failure counts and trials
 	for f := 0; f <= maxFailed; f++ {
 		row := FailureRow{Failed: f}
 		var acc stats.Summary
@@ -68,7 +69,7 @@ func AblationFailure(maxFailed, trials int, seed int64) ([]FailureRow, error) {
 				}
 				replicas[i] = alive
 			}
-			m, _ := maxflow.MinAccesses(replicas, 9)
+			m, _ := solver.Solve(replicas, 9)
 			acc.Add(float64(m))
 			if m > row.MaxAccesses {
 				row.MaxAccesses = m

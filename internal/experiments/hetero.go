@@ -31,6 +31,7 @@ func AblationHeterogeneous(slowFactor float64, trials int, seed int64) ([]Hetero
 	const service = 0.132507
 	rng := newRand(seed)
 	var rows []HeteroRow
+	sched := retrieval.NewScheduler() // reused across slow counts and trials
 	for slow := 0; slow <= 4; slow++ {
 		svc := make([]float64, 9)
 		for d := range svc {
@@ -47,7 +48,7 @@ func AblationHeterogeneous(slowFactor float64, trials int, seed int64) ([]Hetero
 				replicas[i] = dt.Replicas(perm[i])
 			}
 			// Access-count-optimal schedule, then its real makespan.
-			res := retrieval.Optimal(replicas, 9)
+			res := sched.Optimal(replicas, 9)
 			load := make([]int, 9)
 			for _, d := range res.Assignment {
 				load[d]++
@@ -60,7 +61,7 @@ func AblationHeterogeneous(slowFactor float64, trials int, seed int64) ([]Hetero
 			}
 			accSum.Add(worst)
 			// Heterogeneity-aware schedule.
-			h := retrieval.MinResponseTime(replicas, svc)
+			h := sched.MinResponseTime(replicas, svc)
 			mkSum.Add(h.Makespan)
 		}
 		row := HeteroRow{

@@ -25,6 +25,7 @@ type Graph struct {
 	// scratch for Dinic
 	level []int
 	iter  []int
+	queue []int
 }
 
 type edge struct {
@@ -39,6 +40,7 @@ func NewGraph(n int) *Graph {
 		adj:   make([][]int, n),
 		level: make([]int, n),
 		iter:  make([]int, n),
+		queue: make([]int, 0, n),
 	}
 }
 
@@ -66,17 +68,15 @@ func (g *Graph) bfs(s, t int) bool {
 	for i := range g.level {
 		g.level[i] = -1
 	}
-	queue := make([]int, 0, g.n)
-	queue = append(queue, s)
+	g.queue = append(g.queue[:0], s)
 	g.level[s] = 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(g.queue); head++ {
+		u := g.queue[head]
 		for _, ei := range g.adj[u] {
 			e := &g.edges[ei]
 			if e.cap-e.flow > 0 && g.level[e.to] < 0 {
 				g.level[e.to] = g.level[u] + 1
-				queue = append(queue, e.to)
+				g.queue = append(g.queue, e.to)
 			}
 		}
 	}
@@ -149,72 +149,41 @@ type Assignment []int
 // sets can be retrieved in at most m parallel accesses, and if so returns an
 // assignment block→device in which no device serves more than m blocks.
 // replicas[i] lists the devices storing block i; n is the device count.
+//
+// This is a convenience wrapper that builds a throwaway Solver per call;
+// hot paths should hold a Solver (one per goroutine) and call
+// Solver.Feasible to avoid the per-call allocations.
 func FeasibleSchedule(replicas [][]int, n, m int) (Assignment, bool) {
-	b := len(replicas)
-	if b == 0 {
+	if len(replicas) == 0 {
 		return Assignment{}, true
 	}
 	if m <= 0 {
 		return nil, false
 	}
-	// Vertices: 0 = source, 1..b = blocks, b+1..b+n = devices, b+n+1 = sink.
-	src, sink := 0, b+n+1
-	g := NewGraph(b + n + 2)
-	type blockEdge struct{ block, device, edgeIdx int }
-	var bEdges []blockEdge
-	edgeCount := 0
-	for i := range replicas {
-		g.AddEdge(src, 1+i, 1)
-		edgeCount++
-	}
-	for i, devs := range replicas {
-		for _, d := range devs {
-			if d < 0 || d >= n {
-				panic(fmt.Sprintf("maxflow: device %d out of range [0,%d)", d, n))
-			}
-			g.AddEdge(1+i, 1+b+d, 1)
-			bEdges = append(bEdges, blockEdge{i, d, edgeCount})
-			edgeCount++
-		}
-	}
-	for d := 0; d < n; d++ {
-		g.AddEdge(1+b+d, sink, m)
-		edgeCount++
-	}
-	if g.MaxFlow(src, sink) != b {
+	a, ok := NewSolver(len(replicas), n).Feasible(replicas, n, m)
+	if !ok {
 		return nil, false
 	}
-	assign := make(Assignment, b)
-	for i := range assign {
-		assign[i] = -1
-	}
-	for _, be := range bEdges {
-		if g.Flow(be.edgeIdx) > 0 {
-			assign[be.block] = be.device
-		}
-	}
-	return assign, true
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out, true
 }
 
 // MinAccesses returns the minimal number of parallel accesses M* needed to
 // retrieve the given blocks, together with an optimal assignment. The lower
-// bound ⌈b/n⌉ is tried first and M is increased until feasible (M* ≤ b
+// bound ⌈b/n⌉ is tried first and M is raised until feasible (M* ≤ b
 // always, since every block has at least one replica).
+//
+// This is a convenience wrapper over a throwaway Solver; hot paths should
+// hold a Solver and call Solver.Solve.
 func MinAccesses(replicas [][]int, n int) (int, Assignment) {
-	b := len(replicas)
-	if b == 0 {
+	if len(replicas) == 0 {
 		return 0, Assignment{}
 	}
-	m := (b + n - 1) / n // optimal lower bound ⌈b/n⌉
-	for {
-		if a, ok := FeasibleSchedule(replicas, n, m); ok {
-			return m, a
-		}
-		m++
-		if m > b {
-			panic("maxflow: no feasible schedule — block with no valid replica")
-		}
-	}
+	m, a := NewSolver(len(replicas), n).Solve(replicas, n)
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return m, out
 }
 
 func min(a, b int) int {

@@ -1,12 +1,5 @@
 package retrieval
 
-import (
-	"fmt"
-	"sort"
-
-	"flashqos/internal/maxflow"
-)
-
 // This file implements the generalized optimal response-time retrieval the
 // paper builds on (Altiparmak & Tosun, ICPP 2012 [15] and the accompanying
 // technical report [14]): when devices have different service times —
@@ -28,107 +21,13 @@ type HeteroResult struct {
 // blocks when device d takes svc[d] per block. replicas[i] lists the
 // devices holding block i. Panics on invalid input (empty replica lists,
 // non-positive service times).
+//
+// This is a convenience wrapper that builds a throwaway Scheduler per
+// call; hot paths should hold a Scheduler and call
+// Scheduler.MinResponseTime to reuse the feasibility network across the
+// makespan binary search and across requests.
 func MinResponseTime(replicas [][]int, svc []float64) HeteroResult {
-	n := len(svc)
-	for d, s := range svc {
-		if s <= 0 {
-			panic(fmt.Sprintf("retrieval: device %d has non-positive service time %g", d, s))
-		}
-	}
-	b := len(replicas)
-	if b == 0 {
-		return HeteroResult{}
-	}
-	for i, devs := range replicas {
-		if len(devs) == 0 {
-			panic(fmt.Sprintf("retrieval: block %d has no replicas", i))
-		}
-		for _, d := range devs {
-			if d < 0 || d >= n {
-				panic(fmt.Sprintf("retrieval: block %d names device %d outside [0,%d)", i, d, n))
-			}
-		}
-	}
-	// Candidate makespans: k blocks on device d finish at k*svc[d].
-	cands := make([]float64, 0, b*n)
-	for _, s := range svc {
-		for k := 1; k <= b; k++ {
-			cands = append(cands, float64(k)*s)
-		}
-	}
-	sort.Float64s(cands)
-	cands = dedupFloats(cands)
-
-	feasible := func(T float64) (maxflow.Assignment, bool) {
-		caps := make([]int, n)
-		for d, s := range svc {
-			caps[d] = int(T / s * (1 + 1e-12)) // tolerate float noise at exact multiples
-		}
-		return feasibleWithCaps(replicas, caps)
-	}
-	// Binary search the smallest feasible candidate.
-	lo, hi := 0, len(cands)-1
-	if _, ok := feasible(cands[hi]); !ok {
-		panic("retrieval: even the largest makespan is infeasible") // unreachable: all blocks on one device fits
-	}
-	var best maxflow.Assignment
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if a, ok := feasible(cands[mid]); ok {
-			best = a
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	if best == nil {
-		a, ok := feasible(cands[lo])
-		if !ok {
-			panic("retrieval: binary search converged on infeasible makespan")
-		}
-		best = a
-	}
-	return HeteroResult{Makespan: cands[lo], Assignment: best}
-}
-
-// feasibleWithCaps solves the bipartite feasibility problem with per-device
-// capacities.
-func feasibleWithCaps(replicas [][]int, caps []int) (maxflow.Assignment, bool) {
-	b := len(replicas)
-	n := len(caps)
-	src, sink := 0, b+n+1
-	g := maxflow.NewGraph(b + n + 2)
-	type be struct{ block, device, idx int }
-	var edges []be
-	idx := 0
-	for i := range replicas {
-		g.AddEdge(src, 1+i, 1)
-		idx++
-	}
-	for i, devs := range replicas {
-		for _, d := range devs {
-			g.AddEdge(1+i, 1+b+d, 1)
-			edges = append(edges, be{i, d, idx})
-			idx++
-		}
-	}
-	for d := 0; d < n; d++ {
-		g.AddEdge(1+b+d, sink, caps[d])
-		idx++
-	}
-	if g.MaxFlow(src, sink) != b {
-		return nil, false
-	}
-	assign := make(maxflow.Assignment, b)
-	for i := range assign {
-		assign[i] = -1
-	}
-	for _, e := range edges {
-		if g.Flow(e.idx) > 0 {
-			assign[e.block] = e.device
-		}
-	}
-	return assign, true
+	return NewScheduler().MinResponseTime(replicas, svc)
 }
 
 func dedupFloats(xs []float64) []float64 {

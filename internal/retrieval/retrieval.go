@@ -14,11 +14,7 @@
 //     remapping.
 package retrieval
 
-import (
-	"fmt"
-
-	"flashqos/internal/maxflow"
-)
+import "fmt"
 
 // Result describes a retrieval schedule for one batch of block requests.
 type Result struct {
@@ -45,7 +41,19 @@ func lowerBound(b, n int) int {
 func Greedy(replicas [][]int, n int) Result {
 	b := len(replicas)
 	assign := make([]int, b)
-	load := make([]int, n)
+	acc := greedyRun(replicas, n, assign, make([]int, n), make([]int, b+1))
+	return Result{Accesses: acc, Assignment: assign}
+}
+
+// greedyRun is the greedy move loop over caller-provided scratch: assign
+// (len b) receives the block→device mapping, load (len n, zeroed) the
+// per-device block counts, and cnt (len b+1, zeroed) a histogram of loads
+// used to maintain the running maximum incrementally — a move shifts one
+// block between two devices, so the maximum drops by exactly one precisely
+// when the source device was the last one at the old maximum. Returns the
+// final maximum load (the access count).
+func greedyRun(replicas [][]int, n int, assign, load, cnt []int) int {
+	b := len(replicas)
 	for i, devs := range replicas {
 		if len(devs) == 0 {
 			panic(fmt.Sprintf("retrieval: block %d has no replicas", i))
@@ -55,6 +63,7 @@ func Greedy(replicas [][]int, n int) Result {
 	}
 	maxLoad := 0
 	for _, l := range load {
+		cnt[l]++
 		if l > maxLoad {
 			maxLoad = l
 		}
@@ -74,41 +83,36 @@ func Greedy(replicas [][]int, n int) Result {
 				}
 			}
 			if best != cur && load[best] < m {
+				cnt[load[cur]]--
+				if load[cur] == maxLoad && cnt[maxLoad] == 0 {
+					maxLoad--
+				}
 				load[cur]--
+				cnt[load[cur]]++
+				cnt[load[best]]--
 				load[best]++
+				cnt[load[best]]++
 				assign[i] = best
 				moved = true
-			}
-		}
-		maxLoad = 0
-		for _, l := range load {
-			if l > maxLoad {
-				maxLoad = l
 			}
 		}
 		if !moved {
 			m++
 		}
 	}
-	return Result{Accesses: maxLoad, Assignment: assign}
+	return maxLoad
 }
 
 // Optimal implements the paper's combined retrieval: design-theoretic
 // greedy first (O(b)); if its access count exceeds the ⌈b/N⌉ optimum, fall
 // back to the max-flow solver for the exact minimum (O(b³) worst case).
 // The returned schedule always uses the true minimal number of accesses.
+//
+// This is a convenience wrapper that builds a throwaway Scheduler per
+// call; hot paths should hold a Scheduler (one per goroutine) and call
+// Scheduler.Optimal to avoid the per-call allocations.
 func Optimal(replicas [][]int, n int) Result {
-	b := len(replicas)
-	if b == 0 {
-		return Result{}
-	}
-	g := Greedy(replicas, n)
-	lb := lowerBound(b, n)
-	if g.Accesses == lb {
-		return g
-	}
-	m, a := maxflow.MinAccesses(replicas, n)
-	return Result{Accesses: m, Assignment: a}
+	return NewScheduler().Optimal(replicas, n)
 }
 
 // UsedFallback reports whether Optimal would have needed the max-flow
@@ -164,7 +168,8 @@ type Online struct {
 	service  float64 // per-block service time (e.g. 0.132507 ms)
 	n        int
 	nextFree []float64
-	busy     []float64 // cumulative service time per device
+	busy     []float64  // cumulative service time per device
+	engine   *Scheduler // reusable batch-assignment engine
 }
 
 // NewOnline creates an online scheduler for n devices with the given
@@ -173,7 +178,7 @@ func NewOnline(n int, service float64) *Online {
 	if n < 1 || service <= 0 {
 		panic(fmt.Sprintf("retrieval: invalid online scheduler (n=%d, service=%g)", n, service))
 	}
-	return &Online{service: service, n: n, nextFree: make([]float64, n), busy: make([]float64, n)}
+	return &Online{service: service, n: n, nextFree: make([]float64, n), busy: make([]float64, n), engine: NewScheduler()}
 }
 
 // Devices returns the device count.
@@ -255,7 +260,7 @@ func (o *Online) SubmitBatch(t float64, replicas [][]int) []Completion {
 	if len(replicas) == 1 {
 		return []Completion{o.Submit(t, replicas[0])}
 	}
-	res := Optimal(replicas, o.n)
+	res := o.engine.Optimal(replicas, o.n)
 	out := make([]Completion, len(replicas))
 	for i, d := range res.Assignment {
 		start := o.startTime(t, d)
@@ -276,7 +281,7 @@ func (o *Online) IntervalBatch(alignedStart float64, replicas [][]int) []Complet
 	if len(replicas) == 0 {
 		return nil
 	}
-	res := Optimal(replicas, o.n)
+	res := o.engine.Optimal(replicas, o.n)
 	out := make([]Completion, len(replicas))
 	for i, d := range res.Assignment {
 		start := o.startTime(alignedStart, d)

@@ -399,6 +399,9 @@ func BenchmarkGreedy27(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimal27 measures the steady-state engine path: one Scheduler
+// reused across decisions, as Online.SubmitBatch/IntervalBatch and the
+// experiment harnesses do.
 func BenchmarkOptimal27(b *testing.B) {
 	dt := dt931(b)
 	rng := rand.New(rand.NewSource(4))
@@ -406,6 +409,24 @@ func BenchmarkOptimal27(b *testing.B) {
 	for i := range replicas {
 		replicas[i] = dt.Replicas(rng.Intn(36))
 	}
+	s := NewScheduler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Optimal(replicas, 9)
+	}
+}
+
+// BenchmarkOptimal27PerCall measures the compatibility wrapper, which pays
+// a fresh Scheduler per call.
+func BenchmarkOptimal27PerCall(b *testing.B) {
+	dt := dt931(b)
+	rng := rand.New(rand.NewSource(4))
+	replicas := make([][]int, 27)
+	for i := range replicas {
+		replicas[i] = dt.Replicas(rng.Intn(36))
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Optimal(replicas, 9)
