@@ -10,6 +10,12 @@
 //
 //	qosd -addr :7331 -n 9 -c 3 -m 1 -max-conns 256 -read-timeout 5m -drain-timeout 5s
 //	printf 'READ 42\nSTATS\nQUIT\n' | nc localhost 7331
+//
+// A device-health monitor is attached by default: the FAIL/RECOVER/HEALTH
+// admin verbs manage device availability, admission degrades to S' when
+// devices are out of service, and a token-bucket rebuild scheduler
+// re-replicates in the background. Tune with -suspect-after, -fail-after
+// and -rebuild-rate, or disable with -no-health.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"flashqos/internal/core"
+	"flashqos/internal/health"
 	"flashqos/internal/qosnet"
 	"flashqos/internal/sampling"
 )
@@ -38,6 +45,11 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-line read deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain before force-closing connections")
 		maxLine      = flag.Int("max-line", qosnet.DefaultMaxLineBytes, "max request-line length in bytes")
+
+		noHealth     = flag.Bool("no-health", false, "disable the device-health monitor (FAIL/RECOVER/HEALTH answer ERR)")
+		suspectAfter = flag.Int("suspect-after", 3, "consecutive errors before a device turns Suspect")
+		failAfter    = flag.Int("fail-after", 10, "consecutive errors before a Suspect device turns Failed")
+		rebuildRate  = flag.Float64("rebuild-rate", 200, "background rebuild rate cap, bucket copies per second (0 = no rebuild; RECOVER promotes immediately)")
 	)
 	flag.Parse()
 
@@ -58,6 +70,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !*noHealth {
+		_, err := sys.NewHealthMonitor(*rebuildRate, health.Config{
+			SuspectAfter: *suspectAfter,
+			FailAfter:    *failAfter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	srv := qosnet.NewServerOpts(sys, qosnet.Options{
 		MaxConns:     *maxConns,
 		ReadTimeout:  *readTimeout,
@@ -67,8 +88,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("qosd: (%d,%d,1) design, M=%d, S=%d, epsilon=%g, listening on %s\n",
-		*n, *c, *m, sys.S(), *epsilon, bound)
+	healthMode := "off"
+	if !*noHealth {
+		healthMode = fmt.Sprintf("on (suspect-after=%d fail-after=%d rebuild-rate=%g/s)",
+			*suspectAfter, *failAfter, *rebuildRate)
+	}
+	fmt.Printf("qosd: (%d,%d,1) design, M=%d, S=%d, epsilon=%g, health %s, listening on %s\n",
+		*n, *c, *m, sys.S(), *epsilon, healthMode, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"flashqos/internal/admission"
+	"flashqos/internal/health"
+	"flashqos/internal/retrieval"
 )
 
 // ConcurrentSystem is a thread-safe admission/retrieval front-end over a
@@ -85,6 +87,12 @@ func (s *ConcurrentSystem) System() *System { return s.sys }
 // S returns the admission limit S(M).
 func (s *ConcurrentSystem) S() int { return s.sys.s }
 
+// EffectiveS returns the current admission limit (S' when degraded).
+func (s *ConcurrentSystem) EffectiveS() int { return s.sys.EffectiveS() }
+
+// Health returns the attached device-health monitor (nil when none).
+func (s *ConcurrentSystem) Health() *health.Monitor { return s.sys.health }
+
 // IntervalMS returns the QoS interval T in milliseconds.
 func (s *ConcurrentSystem) IntervalMS() float64 { return s.sys.cfg.IntervalMS }
 
@@ -134,13 +142,16 @@ func (s *ConcurrentSystem) counter(w int64) *atomic.Int32 {
 }
 
 // reserve atomically claims n admission slots in window w, failing if that
-// would push the window past S.
-func (s *ConcurrentSystem) reserve(w int64, n int) bool {
-	limit := int32(s.sys.s)
+// would push the window past the caller's limit (S, or the degraded S'
+// snapshot the caller took). During a mask transition concurrent callers
+// may briefly hold different limits; each CAS enforces the limit its
+// caller observed, so the count never exceeds the largest concurrently
+// valid guarantee.
+func (s *ConcurrentSystem) reserve(w int64, n, limit int) bool {
 	c := s.counter(w)
 	for {
 		v := c.Load()
-		if v+int32(n) > limit {
+		if v+int32(n) > int32(limit) {
 			return false
 		}
 		if c.CompareAndSwap(v, v+int32(n)) {
@@ -253,10 +264,16 @@ func (s *ConcurrentSystem) Submit(arrival float64, dataBlock int64) Outcome {
 		return s.submitSerial(arrival, dataBlock, false)
 	}
 	replicas := s.sys.Replicas(dataBlock)
+	// One availability snapshot per request: a FAIL/RECOVER racing with
+	// this submission lands on either side of the snapshot, never halfway.
+	mask, limit, masked := s.sys.maskLimit()
+	if masked && aliveReplicas(replicas, mask) == 0 {
+		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+	}
 	tAdm := s.startFrom(arrival)
 	for {
 		w := s.sys.window(tAdm)
-		if !s.reserve(w, 1) {
+		if !s.reserve(w, 1, limit) {
 			if s.sys.cfg.Policy == admission.Reject {
 				return Outcome{Rejected: true, Admitted: arrival}
 			}
@@ -265,16 +282,25 @@ func (s *ConcurrentSystem) Submit(arrival float64, dataBlock int64) Outcome {
 			continue
 		}
 		// Slot reserved in w. The guaranteed path also needs an idle
-		// replica at tAdm so the response time stays at the service time.
+		// available replica at tAdm so the response time stays at the
+		// service time.
 		s.schedMu.Lock()
 		tFree := math.Inf(1)
 		for _, d := range replicas {
+			if masked && mask&(1<<uint(d)) == 0 {
+				continue
+			}
 			if nf := s.sys.sched.NextFree(d); nf < tFree {
 				tFree = nf
 			}
 		}
 		if tFree <= tAdm {
-			c := s.sys.sched.Submit(tAdm, replicas)
+			var c retrieval.Completion
+			if masked {
+				c, _ = s.sys.sched.SubmitMasked(tAdm, replicas, mask)
+			} else {
+				c = s.sys.sched.Submit(tAdm, replicas)
+			}
 			s.schedMu.Unlock()
 			delay := tAdm - arrival
 			if delay < 0 {
@@ -309,11 +335,17 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 		return s.submitSerial(arrival, dataBlock, true)
 	}
 	replicas := s.sys.Replicas(dataBlock)
+	mask, limit, masked := s.sys.maskLimit()
 	c := len(replicas)
+	if masked {
+		if c = aliveReplicas(replicas, mask); c == 0 {
+			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+		}
+	}
 	tAdm := s.startFrom(arrival)
 	for {
 		w := s.sys.window(tAdm)
-		if !s.reserve(w, c) {
+		if !s.reserve(w, c, limit) {
 			if s.sys.cfg.Policy == admission.Reject {
 				return Outcome{Rejected: true, Admitted: arrival}
 			}
@@ -324,7 +356,14 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 		}
 		s.schedMu.Lock()
 		tAllFree := tAdm
+		firstDev := -1
 		for _, d := range replicas {
+			if masked && mask&(1<<uint(d)) == 0 {
+				continue
+			}
+			if firstDev < 0 {
+				firstDev = d
+			}
 			if nf := s.sys.sched.NextFree(d); nf > tAllFree {
 				tAllFree = nf
 			}
@@ -332,6 +371,9 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 		if tAllFree <= tAdm {
 			finish := 0.0
 			for _, d := range replicas {
+				if masked && mask&(1<<uint(d)) == 0 {
+					continue
+				}
 				cmp := s.sys.sched.SubmitFor(tAdm, []int{d}, s.sys.cfg.WriteServiceMS)
 				if cmp.Finish > finish {
 					finish = cmp.Finish
@@ -344,7 +386,7 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 			}
 			return Outcome{
 				Admitted: tAdm,
-				Device:   replicas[0],
+				Device:   firstDev,
 				Start:    tAdm,
 				Finish:   finish,
 				Delay:    delay,

@@ -27,6 +27,7 @@ import (
 	"flashqos/internal/design"
 	"flashqos/internal/fim"
 	"flashqos/internal/flashsim"
+	"flashqos/internal/health"
 	"flashqos/internal/retrieval"
 	"flashqos/internal/sampling"
 	"flashqos/internal/stats"
@@ -124,7 +125,11 @@ type Outcome struct {
 	Finish   float64 // service completion
 	Delay    float64 // Admitted - arrival (0 when served on arrival)
 	Delayed  bool    // Delay exceeded tolerance
-	Rejected bool    // dropped (Policy Reject only)
+	Rejected bool    // dropped (Policy Reject only, or Unavailable)
+	// Unavailable marks a rejection because every replica of the block is
+	// on a failed/rebuilding device (only possible with a health monitor
+	// attached and more than c-1 devices out of service).
+	Unavailable bool
 }
 
 // Response returns the post-admission response time, the quantity the
@@ -139,6 +144,7 @@ type System struct {
 	sched  *retrieval.Online
 	stat   *admission.Statistical // nil for deterministic
 	s      int                    // admission limit S(M)
+	health *health.Monitor        // nil unless AttachHealth was called
 
 	winCount   map[int64]int // admitted requests per T-window
 	lastClosed int64         // most recent window folded into stat counters
@@ -259,31 +265,41 @@ func (s *System) closeWindows(w int64) {
 
 // Submit runs one block request through admission control and online
 // retrieval. Requests must be submitted in non-decreasing arrival order.
+// With a health monitor attached, retrieval skips unavailable devices and
+// admission enforces the degraded limit S' instead of S (the availability
+// snapshot is taken once per call).
 func (s *System) Submit(arrival float64, dataBlock int64) Outcome {
 	replicas := s.Replicas(dataBlock)
 	s.closeWindows(s.window(arrival))
+	mask, limit, masked := s.maskLimit()
+	if masked && aliveReplicas(replicas, mask) == 0 {
+		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+	}
 
 	tAdm := arrival
 	for {
 		w := s.window(tAdm)
 		count := s.winCount[w]
-		// Earliest instant a replica device is idle.
+		// Earliest instant an available replica device is idle.
 		tFree := math.Inf(1)
 		for _, d := range replicas {
+			if masked && mask&(1<<uint(d)) == 0 {
+				continue
+			}
 			if nf := s.sched.NextFree(d); nf < tFree {
 				tFree = nf
 			}
 		}
 		deviceIdle := tFree <= tAdm
 		switch {
-		case count < s.s && deviceIdle:
+		case count < limit && deviceIdle:
 			// Guaranteed path: serve immediately on an idle replica.
-			return s.admit(arrival, tAdm, w, replicas, true)
+			return s.admit(arrival, tAdm, w, replicas, mask, masked, true)
 		case s.stat != nil && s.stat.WouldAdmit(count+1):
 			// Statistical path: admit even though the window is over
 			// capacity or every replica is busy; the request may queue.
-			return s.admit(arrival, tAdm, w, replicas, false)
-		case count >= s.s:
+			return s.admit(arrival, tAdm, w, replicas, mask, masked, false)
+		case count >= limit:
 			if s.cfg.Policy == admission.Reject {
 				return Outcome{Rejected: true, Delay: 0, Admitted: arrival}
 			}
@@ -298,10 +314,18 @@ func (s *System) Submit(arrival float64, dataBlock int64) Outcome {
 	}
 }
 
-// admit schedules the request at time tAdm on the best replica.
-func (s *System) admit(arrival, tAdm float64, w int64, replicas []int, requireIdle bool) Outcome {
+// admit schedules the request at time tAdm on the best available replica.
+func (s *System) admit(arrival, tAdm float64, w int64, replicas []int, mask uint64, masked, requireIdle bool) Outcome {
 	s.winCount[w]++
-	c := s.sched.Submit(tAdm, replicas)
+	var c retrieval.Completion
+	if masked {
+		var ok bool
+		if c, ok = s.sched.SubmitMasked(tAdm, replicas, mask); !ok {
+			panic("core: admit with no available replica") // caller checked
+		}
+	} else {
+		c = s.sched.Submit(tAdm, replicas)
+	}
 	if requireIdle && c.Start > tAdm+delayTol {
 		panic("core: guaranteed-path request had to queue") // invariant
 	}
@@ -328,8 +352,9 @@ func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
 		return nil
 	}
 	s.closeWindows(s.window(arrival))
+	mask, limit, masked := s.maskLimit()
 	w := s.window(arrival)
-	room := s.s - s.winCount[w]
+	room := limit - s.winCount[w]
 	if room < 0 {
 		room = 0
 	}
@@ -342,14 +367,52 @@ func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
 		replicas := make([][]int, take)
 		for i := 0; i < take; i++ {
 			replicas[i] = s.Replicas(blocks[i])
+			if masked {
+				// Degraded batch: restrict the joint assignment to the
+				// surviving replicas (allocates; the batch path is not the
+				// zero-alloc hot path).
+				alive := make([]int, 0, len(replicas[i]))
+				for _, d := range replicas[i] {
+					if mask&(1<<uint(d)) != 0 {
+						alive = append(alive, d)
+					}
+				}
+				if len(alive) == 0 {
+					out[i] = Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+					replicas[i] = nil
+					continue
+				}
+				replicas[i] = alive
+			}
 		}
-		s.winCount[w] += take
-		for i, c := range s.sched.SubmitBatch(arrival, replicas) {
-			out[i] = Outcome{
-				Admitted: arrival,
-				Device:   c.Device,
-				Start:    c.Start,
-				Finish:   c.Finish,
+		if masked {
+			// Compact out unavailable blocks before the joint assignment.
+			live := replicas[:0]
+			idx := make([]int, 0, take)
+			for i, r := range replicas {
+				if r != nil {
+					live = append(live, r)
+					idx = append(idx, i)
+				}
+			}
+			s.winCount[w] += len(live)
+			for j, c := range s.sched.SubmitBatch(arrival, live) {
+				out[idx[j]] = Outcome{
+					Admitted: arrival,
+					Device:   c.Device,
+					Start:    c.Start,
+					Finish:   c.Finish,
+				}
+			}
+		} else {
+			s.winCount[w] += take
+			for i, c := range s.sched.SubmitBatch(arrival, replicas) {
+				out[i] = Outcome{
+					Admitted: arrival,
+					Device:   c.Device,
+					Start:    c.Start,
+					Finish:   c.Finish,
+				}
 			}
 		}
 	}
@@ -369,27 +432,46 @@ func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
 // slower than reads); admission ensures they never preempt already
 // admitted reads, but reads arriving afterwards can be delayed behind
 // them, which the delay accounting reports honestly.
+// Degraded writes (health monitor attached, devices out of service) update
+// only the available replicas and consume only that many admission slots;
+// the rebuild scheduler owns bringing the missing copies back in sync.
 func (s *System) SubmitWrite(arrival float64, dataBlock int64) Outcome {
 	replicas := s.Replicas(dataBlock)
-	c := len(replicas)
 	s.closeWindows(s.window(arrival))
+	mask, limit, masked := s.maskLimit()
+	c := len(replicas)
+	if masked {
+		if c = aliveReplicas(replicas, mask); c == 0 {
+			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+		}
+	}
 
 	tAdm := arrival
 	for {
 		w := s.window(tAdm)
 		count := s.winCount[w]
-		// All replicas must be free simultaneously.
+		// All available replicas must be free simultaneously.
 		tAllFree := tAdm
+		firstDev := -1
 		for _, d := range replicas {
+			if masked && mask&(1<<uint(d)) == 0 {
+				continue
+			}
+			if firstDev < 0 {
+				firstDev = d
+			}
 			if nf := s.sched.NextFree(d); nf > tAllFree {
 				tAllFree = nf
 			}
 		}
 		switch {
-		case count+c <= s.s && tAllFree <= tAdm:
+		case count+c <= limit && tAllFree <= tAdm:
 			s.winCount[w] += c
 			finish := 0.0
 			for _, d := range replicas {
+				if masked && mask&(1<<uint(d)) == 0 {
+					continue
+				}
 				cmp := s.sched.SubmitFor(tAdm, []int{d}, s.cfg.WriteServiceMS)
 				if cmp.Finish > finish {
 					finish = cmp.Finish
@@ -398,13 +480,13 @@ func (s *System) SubmitWrite(arrival float64, dataBlock int64) Outcome {
 			delay := tAdm - arrival
 			return Outcome{
 				Admitted: tAdm,
-				Device:   replicas[0],
+				Device:   firstDev,
 				Start:    tAdm,
 				Finish:   finish,
 				Delay:    delay,
 				Delayed:  delay > delayTol,
 			}
-		case count+c > s.s:
+		case count+c > limit:
 			if s.cfg.Policy == admission.Reject {
 				return Outcome{Rejected: true, Admitted: arrival}
 			}

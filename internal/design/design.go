@@ -98,10 +98,20 @@ func (d *Design) Verify() error {
 // accesses under design-theoretic allocation: S(M) = (c-1)·M² + c·M
 // (paper §II-B2).
 func (d *Design) S(M int) int {
-	if M < 0 {
+	return SFor(d.C, M)
+}
+
+// SFor evaluates the guarantee polynomial S(M) = (c-1)·M² + c·M for an
+// arbitrary replica count c. Beyond the design's own c it also prices the
+// degraded guarantee: with f failed devices every bucket keeps at least
+// c-f replicas and any pair of devices still shares at most λ buckets, so
+// the same counting argument bounds the retrievable set by SFor(c-f, M).
+// c <= 0 or M < 0 yields 0 (no guarantee can be made).
+func SFor(c, M int) int {
+	if c <= 0 || M < 0 {
 		return 0
 	}
-	return (d.C-1)*M*M + d.C*M
+	return (c-1)*M*M + c*M
 }
 
 // AccessesFor returns the smallest M such that S(M) >= b, i.e. the

@@ -1,0 +1,110 @@
+package flashsim
+
+import (
+	"math"
+	"testing"
+)
+
+func faultArray(t *testing.T, modules int) *Array {
+	t.Helper()
+	a, err := New(Config{Modules: modules, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSetFaultValidation(t *testing.T) {
+	a := faultArray(t, 4)
+	for _, f := range []Fault{
+		{ErrorProb: -0.1},
+		{ErrorProb: 1.1},
+		{SpikeProb: 2},
+		{SpikeFactor: 0.5},
+		{LatencyFactor: -1},
+	} {
+		if err := a.SetFault(0, f); err == nil {
+			t.Errorf("SetFault(%+v) succeeded, want error", f)
+		}
+	}
+	if err := a.SetFault(4, Fault{}); err == nil {
+		t.Error("SetFault on out-of-range module succeeded")
+	}
+	if err := a.SetFault(0, Fault{ErrorProb: 0.5}); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+}
+
+func TestFaultErrorProb(t *testing.T) {
+	a := faultArray(t, 2)
+	if err := a.SetFault(0, Fault{ErrorProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a.Submit(Request{ID: int64(i), Arrival: float64(i), Module: i % 2})
+	}
+	for _, c := range a.Run() {
+		if want := c.Module == 0; c.Failed != want {
+			t.Errorf("request %d on module %d: Failed = %v, want %v", c.ID, c.Module, c.Failed, want)
+		}
+	}
+	if got := a.FailedCount(0); got != 10 {
+		t.Errorf("FailedCount(0) = %d, want 10", got)
+	}
+	if got := a.FailedCount(1); got != 0 {
+		t.Errorf("FailedCount(1) = %d, want 0", got)
+	}
+}
+
+func TestFaultLatencyShaping(t *testing.T) {
+	a := faultArray(t, 3)
+	// Module 0: steady 2x slowdown. Module 1: every request spikes 4x.
+	if err := a.SetFault(0, Fault{LatencyFactor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetFault(1, Fault{SpikeProb: 1, SpikeFactor: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		a.Submit(Request{ID: int64(m), Arrival: 0, Module: m})
+	}
+	want := map[int]float64{0: 2 * DefaultReadLatency, 1: 4 * DefaultReadLatency, 2: DefaultReadLatency}
+	for _, c := range a.Run() {
+		if got := c.Finish - c.Start; math.Abs(got-want[c.Module]) > 1e-12 {
+			t.Errorf("module %d service time %g, want %g", c.Module, got, want[c.Module])
+		}
+		if c.Failed {
+			t.Errorf("module %d request marked Failed with ErrorProb 0", c.Module)
+		}
+	}
+}
+
+func TestClearFault(t *testing.T) {
+	a := faultArray(t, 1)
+	if err := a.SetFault(0, Fault{ErrorProb: 1, LatencyFactor: 3}); err != nil {
+		t.Fatal(err)
+	}
+	a.ClearFault(0)
+	a.Submit(Request{ID: 1, Arrival: 0, Module: 0})
+	cs := a.Run()
+	if cs[0].Failed {
+		t.Error("request failed after ClearFault")
+	}
+	if got := cs[0].Finish - cs[0].Start; math.Abs(got-DefaultReadLatency) > 1e-12 {
+		t.Errorf("service time %g after ClearFault, want %g", got, DefaultReadLatency)
+	}
+}
+
+// TestFaultDefaults: a zero-valued profile is a valid no-op latency shape
+// (factor 1, spike 8x but probability 0).
+func TestFaultDefaults(t *testing.T) {
+	a := faultArray(t, 1)
+	if err := a.SetFault(0, Fault{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Submit(Request{ID: 1, Arrival: 0, Module: 0})
+	cs := a.Run()
+	if got := cs[0].Finish - cs[0].Start; math.Abs(got-DefaultReadLatency) > 1e-12 {
+		t.Errorf("service time %g with default fault, want %g", got, DefaultReadLatency)
+	}
+}

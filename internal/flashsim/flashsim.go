@@ -72,6 +72,43 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// Fault injects device-level misbehavior into one module — the hooks the
+// health subsystem's end-to-end tests drive to provoke Suspect/Failed
+// transitions without a real dying drive. All fields compose: a request
+// first rolls for an outright error, then its service time is scaled by
+// LatencyFactor and possibly a spike.
+type Fault struct {
+	ErrorProb     float64 // probability in [0,1] a request completes with Failed set
+	SpikeProb     float64 // probability in [0,1] the service time is multiplied by SpikeFactor
+	SpikeFactor   float64 // latency multiplier for spikes (default 8, must be >= 1)
+	LatencyFactor float64 // steady multiplier on every service time (default 1, must be > 0)
+}
+
+func (f *Fault) applyDefaults() {
+	if f.SpikeFactor == 0 {
+		f.SpikeFactor = 8
+	}
+	if f.LatencyFactor == 0 {
+		f.LatencyFactor = 1
+	}
+}
+
+func (f *Fault) validate() error {
+	if f.ErrorProb < 0 || f.ErrorProb > 1 {
+		return fmt.Errorf("flashsim: error probability must be in [0,1], got %g", f.ErrorProb)
+	}
+	if f.SpikeProb < 0 || f.SpikeProb > 1 {
+		return fmt.Errorf("flashsim: spike probability must be in [0,1], got %g", f.SpikeProb)
+	}
+	if f.SpikeFactor < 1 {
+		return fmt.Errorf("flashsim: spike factor must be >= 1, got %g", f.SpikeFactor)
+	}
+	if f.LatencyFactor <= 0 {
+		return fmt.Errorf("flashsim: latency factor must be positive, got %g", f.LatencyFactor)
+	}
+	return nil
+}
+
 // Request is one block I/O destined for a specific module. The controller
 // (declustering + retrieval policy) decides the module before submission.
 type Request struct {
@@ -87,6 +124,7 @@ type Completion struct {
 	Request
 	Start  float64 // service start, ms
 	Finish float64 // service completion, ms
+	Failed bool    // the module's injected fault errored this request
 }
 
 // Response returns the I/O driver response time: completion minus arrival
@@ -136,8 +174,12 @@ func (h *eventHeap) Pop() interface{} {
 type module struct {
 	queue []Request // FIFO backlog
 	busy  int       // operations in flight (<= ways)
+	// fault injection
+	faulty bool
+	fault  Fault
 	// accounting
 	served   int64
+	failed   int64
 	busyTime float64
 }
 
@@ -184,14 +226,49 @@ func (a *Array) Submit(r Request) {
 	heap.Push(&a.events, event{time: r.Arrival, kind: evArrival, seq: a.seq, req: r})
 }
 
-// latency returns the (possibly jittered) service time for a request.
-func (a *Array) latency(op Op) float64 {
+// SetFault installs a fault profile on one module (defaults applied).
+// Requests already in flight are unaffected; requests served from then on
+// roll against the profile. Returns an error for an invalid module or
+// profile.
+func (a *Array) SetFault(module int, f Fault) error {
+	if module < 0 || module >= a.cfg.Modules {
+		return fmt.Errorf("flashsim: module %d out of range [0,%d)", module, a.cfg.Modules)
+	}
+	f.applyDefaults()
+	if err := f.validate(); err != nil {
+		return err
+	}
+	a.modules[module].faulty = true
+	a.modules[module].fault = f
+	return nil
+}
+
+// ClearFault removes module's fault profile (no-op when none is set).
+func (a *Array) ClearFault(module int) {
+	if module >= 0 && module < a.cfg.Modules {
+		a.modules[module].faulty = false
+		a.modules[module].fault = Fault{}
+	}
+}
+
+// FailedCount returns the number of requests module d errored.
+func (a *Array) FailedCount(d int) int64 { return a.modules[d].failed }
+
+// latency returns the (possibly jittered and fault-shaped) service time
+// for a request on module m.
+func (a *Array) latency(m *module, op Op) float64 {
 	base := a.cfg.ReadLatency
 	if op == Write {
 		base = a.cfg.WriteLatency
 	}
 	if a.cfg.JitterFrac > 0 {
 		base *= 1 + a.cfg.JitterFrac*(2*a.rng.Float64()-1)
+	}
+	if m.faulty {
+		base *= m.fault.LatencyFactor
+		if m.fault.SpikeProb > 0 && a.rng.Float64() < m.fault.SpikeProb {
+			base *= m.fault.SpikeFactor
+		}
 	}
 	return base
 }
@@ -200,11 +277,15 @@ func (a *Array) latency(op Op) float64 {
 func (a *Array) startService(t float64, r Request) {
 	m := &a.modules[r.Module]
 	m.busy++
-	lat := a.latency(r.Op)
+	lat := a.latency(m, r.Op)
 	m.busyTime += lat
+	failed := m.faulty && m.fault.ErrorProb > 0 && a.rng.Float64() < m.fault.ErrorProb
+	if failed {
+		m.failed++
+	}
 	a.seq++
 	heap.Push(&a.events, event{time: t + lat, kind: evComplete, seq: a.seq, req: r})
-	a.pending = append(a.pending, Completion{Request: r, Start: t, Finish: t + lat})
+	a.pending = append(a.pending, Completion{Request: r, Start: t, Finish: t + lat, Failed: failed})
 }
 
 // Run processes all queued events and returns the completions in finish

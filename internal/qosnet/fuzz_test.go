@@ -9,6 +9,7 @@ import (
 
 	"flashqos/internal/core"
 	"flashqos/internal/design"
+	"flashqos/internal/health"
 )
 
 // validResponseLine reports whether a server output line is one the
@@ -16,7 +17,7 @@ import (
 // flashqos_-prefixed samples, and the blank terminator (skipped by the
 // caller).
 func validResponseLine(line string) bool {
-	for _, p := range []string{"OK ", "REJECTED", "MAP ", "STATS ", "ERR ", "# ", "flashqos_"} {
+	for _, p := range []string{"OK ", "REJECTED", "MAP ", "STATS ", "ERR ", "# ", "flashqos_", "HEALTH ", "DEV "} {
 		if strings.HasPrefix(line, p) {
 			return true
 		}
@@ -44,6 +45,12 @@ func FuzzHandle(f *testing.F) {
 		"\n\n\n",
 		"   \t  \n",
 		"QUIT\nREAD 1\n",
+		"HEALTH\n",
+		"FAIL 0\nHEALTH\nRECOVER 0\n",
+		"FAIL 0\nFAIL 1\nFAIL 2\n", // third must hit the MaxUnavailable guard
+		"FAIL abc\nRECOVER -1\nFAIL 99\n",
+		"RECOVER 3\nMETRICS\n", // recovering a healthy device errors
+		"FAIL\nRECOVER\n",
 		strings.Repeat("A", 9000) + "\n",
 		"READ " + strings.Repeat("9", 2000) + "\n",
 		"\x00\xff\xfe garbage \x01\n",
@@ -55,6 +62,9 @@ func FuzzHandle(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sys, err := core.New(core.Config{Design: design.Paper931()})
 		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.NewHealthMonitor(1000, health.Config{}); err != nil {
 			t.Fatal(err)
 		}
 		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512})

@@ -11,7 +11,18 @@
 //	MAP <block>         → MAP <designBlock> <dev0> <dev1> ...
 //	STATS               → STATS <requests> <delayed> <rejected> <avgDelay-ms>
 //	METRICS             → Prometheus-style text exposition, blank-line terminated
+//	FAIL <dev>          → OK failed <effective-S>       (admin: take device out of service)
+//	RECOVER <dev>       → OK <state> <effective-S>      (admin: bring device back; state is
+//	                                                     "rebuilding" or "healthy")
+//	HEALTH              → HEALTH devices=<n> alive=<n> s=<S'> s_full=<S>
+//	                             rebuild_pending=<n> rebuild_done=<n>
+//	                      followed by one "DEV <i> <state> <ewma-ms>" line per
+//	                      device and a blank terminator
 //	QUIT                → connection closes
+//
+// The admin verbs answer "ERR no health monitor" unless the served system
+// was built with a health monitor attached (core.System.NewHealthMonitor);
+// qosd attaches one by default.
 //
 // Arrival times are virtual: milliseconds since the server started, read
 // from a monotonic clock, so the simulated array timeline matches real
@@ -148,10 +159,32 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return lis.Addr(), nil
 }
 
+// healthPumpInterval is how often Serve ticks the health monitor's
+// background work (token-bucket rebuild copies, drained-device promotion).
+const healthPumpInterval = 2 * time.Millisecond
+
 // Serve accepts connections until Close/Shutdown. Call after Listen.
+// When the served system has a health monitor attached, Serve also pumps
+// its rebuild scheduler until shutdown.
 func (s *Server) Serve() error {
 	if s.lis == nil {
 		return errors.New("qosnet: Serve before Listen")
+	}
+	if mon := s.sys.Health(); mon != nil {
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			tick := time.NewTicker(healthPumpInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.closed:
+					return
+				case <-tick.C:
+					mon.Step()
+				}
+			}
+		}()
 	}
 	for {
 		conn, err := s.lis.Accept()
@@ -319,6 +352,7 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 4096)
 	w := bufio.NewWriter(conn)
 	scratch := make([]byte, 0, 128) // per-connection response buffer
+	mon := s.sys.Health()           // attached before serving; nil when disabled
 	for {
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
@@ -366,6 +400,11 @@ func (s *Server) handle(conn net.Conn) {
 			if out.Rejected {
 				fmt.Fprintln(w, "REJECTED")
 			} else {
+				if mon != nil {
+					// Feed the latency detector: the simulated array served
+					// the request in Response() ms on this device.
+					mon.ReportSuccess(out.Device, out.Response())
+				}
 				scratch = appendOutcome(scratch[:0], out)
 				w.Write(scratch)
 			}
@@ -409,8 +448,62 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(w, "flashqos_busy_rejected_total %d\n", s.busy.Load())
 			fmt.Fprintf(w, "# TYPE flashqos_admission_limit gauge\n")
 			fmt.Fprintf(w, "flashqos_admission_limit %d\n", s.sys.S())
+			fmt.Fprintf(w, "# TYPE flashqos_admission_limit_effective gauge\n")
+			fmt.Fprintf(w, "flashqos_admission_limit_effective %d\n", s.sys.EffectiveS())
 			fmt.Fprintf(w, "# TYPE flashqos_q_estimate gauge\n")
 			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.sys.Q())
+			if mon != nil {
+				m := mon.Mask()
+				pending, done := mon.RebuildProgress()
+				fmt.Fprintf(w, "# TYPE flashqos_devices_alive gauge\n")
+				fmt.Fprintf(w, "flashqos_devices_alive %d\n", m.Alive)
+				fmt.Fprintf(w, "# TYPE flashqos_devices_unavailable gauge\n")
+				fmt.Fprintf(w, "flashqos_devices_unavailable %d\n", m.Unavailable())
+				fmt.Fprintf(w, "# TYPE flashqos_rebuild_pending gauge\n")
+				fmt.Fprintf(w, "flashqos_rebuild_pending %d\n", pending)
+				fmt.Fprintf(w, "# TYPE flashqos_rebuild_done_total counter\n")
+				fmt.Fprintf(w, "flashqos_rebuild_done_total %d\n", done)
+				fmt.Fprintf(w, "# TYPE flashqos_health_transitions_total counter\n")
+				fmt.Fprintf(w, "flashqos_health_transitions_total %d\n", mon.Transitions())
+			}
+			fmt.Fprintln(w)
+		case "FAIL", "RECOVER":
+			verb := strings.ToUpper(fields[0])
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR usage: %s <device>\n", verb)
+				break
+			}
+			if mon == nil {
+				fmt.Fprintln(w, "ERR no health monitor")
+				break
+			}
+			dev, err := strconv.Atoi(fields[1])
+			if err != nil || dev < 0 || dev >= mon.Devices() {
+				fmt.Fprintf(w, "ERR bad device %q\n", fields[1])
+				break
+			}
+			if verb == "FAIL" {
+				err = mon.Fail(dev)
+			} else {
+				err = mon.Recover(dev)
+			}
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK %s %d\n", mon.State(dev), s.sys.EffectiveS())
+		case "HEALTH":
+			if mon == nil {
+				fmt.Fprintln(w, "ERR no health monitor")
+				break
+			}
+			m := mon.Mask()
+			pending, done := mon.RebuildProgress()
+			fmt.Fprintf(w, "HEALTH devices=%d alive=%d s=%d s_full=%d rebuild_pending=%d rebuild_done=%d\n",
+				m.N, m.Alive, s.sys.EffectiveS(), s.sys.S(), pending, done)
+			for d := 0; d < mon.Devices(); d++ {
+				fmt.Fprintf(w, "DEV %d %s %.6f\n", d, mon.State(d), mon.EWMA(d))
+			}
 			fmt.Fprintln(w)
 		case "QUIT":
 			w.Flush()
@@ -564,14 +657,137 @@ func (c *Client) Metrics() (string, error) {
 	}
 }
 
-// Stats fetches server counters.
+// Stats fetches server counters. The response is parsed strictly: exactly
+// four fields after the STATS tag, nothing trailing (fmt.Sscanf would
+// silently accept garbage after the last number).
 func (c *Client) Stats() (requests, delayed, rejected int64, avgDelayMS float64, err error) {
 	line, err := c.roundTrip("STATS")
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	if _, err := fmt.Sscanf(line, "STATS %d %d %d %f", &requests, &delayed, &rejected, &avgDelayMS); err != nil {
-		return 0, 0, 0, 0, fmt.Errorf("qosnet: bad STATS response %q: %w", line, err)
+	bad := func() (int64, int64, int64, float64, error) {
+		return 0, 0, 0, 0, fmt.Errorf("qosnet: bad STATS response %q", line)
 	}
-	return requests, delayed, rejected, avgDelayMS, nil
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[0] != "STATS" {
+		return bad()
+	}
+	ints := [3]int64{}
+	for i := range ints {
+		v, err := strconv.ParseInt(fields[i+1], 10, 64)
+		if err != nil {
+			return bad()
+		}
+		ints[i] = v
+	}
+	avg, err := strconv.ParseFloat(fields[4], 64)
+	if err != nil {
+		return bad()
+	}
+	return ints[0], ints[1], ints[2], avg, nil
+}
+
+// Fail takes a device out of service (admin). Returns the device's new
+// state ("failed") and the server's effective admission limit S'.
+func (c *Client) Fail(device int) (state string, effectiveS int, err error) {
+	return c.adminVerb(fmt.Sprintf("FAIL %d", device))
+}
+
+// Recover brings a failed device back (admin). The returned state is
+// "rebuilding" when a resilver is scheduled, "healthy" otherwise.
+func (c *Client) Recover(device int) (state string, effectiveS int, err error) {
+	return c.adminVerb(fmt.Sprintf("RECOVER %d", device))
+}
+
+func (c *Client) adminVerb(req string) (state string, effectiveS int, err error) {
+	line, err := c.roundTrip(req)
+	if err != nil {
+		return "", 0, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "OK" {
+		return "", 0, fmt.Errorf("qosnet: bad response %q", line)
+	}
+	s, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return "", 0, fmt.Errorf("qosnet: bad response %q", line)
+	}
+	return fields[1], s, nil
+}
+
+// DeviceHealth is one device's line of a HEALTH report.
+type DeviceHealth struct {
+	Device int
+	State  string
+	EWMAMS float64
+}
+
+// HealthStatus is a parsed HEALTH report.
+type HealthStatus struct {
+	Devices        int
+	Alive          int
+	EffectiveS     int
+	FullS          int
+	RebuildPending int
+	RebuildDone    int64
+	States         []DeviceHealth
+}
+
+// Health fetches the device-health report.
+func (c *Client) Health() (HealthStatus, error) {
+	line, err := c.roundTrip("HEALTH")
+	if err != nil {
+		return HealthStatus{}, err
+	}
+	var h HealthStatus
+	fields := strings.Fields(line)
+	if len(fields) != 7 || fields[0] != "HEALTH" {
+		return HealthStatus{}, fmt.Errorf("qosnet: bad HEALTH response %q", line)
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return HealthStatus{}, fmt.Errorf("qosnet: bad HEALTH field %q", f)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return HealthStatus{}, fmt.Errorf("qosnet: bad HEALTH field %q", f)
+		}
+		switch k {
+		case "devices":
+			h.Devices = int(n)
+		case "alive":
+			h.Alive = int(n)
+		case "s":
+			h.EffectiveS = int(n)
+		case "s_full":
+			h.FullS = int(n)
+		case "rebuild_pending":
+			h.RebuildPending = int(n)
+		case "rebuild_done":
+			h.RebuildDone = n
+		default:
+			return HealthStatus{}, fmt.Errorf("qosnet: unknown HEALTH field %q", f)
+		}
+	}
+	for {
+		raw, err := c.r.ReadString('\n')
+		if err != nil {
+			return HealthStatus{}, err
+		}
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return h, nil
+		}
+		df := strings.Fields(raw)
+		if len(df) != 4 || df[0] != "DEV" {
+			return HealthStatus{}, fmt.Errorf("qosnet: bad DEV line %q", raw)
+		}
+		dev, err1 := strconv.Atoi(df[1])
+		ewma, err2 := strconv.ParseFloat(df[3], 64)
+		if err1 != nil || err2 != nil {
+			return HealthStatus{}, fmt.Errorf("qosnet: bad DEV line %q", raw)
+		}
+		h.States = append(h.States, DeviceHealth{Device: dev, State: df[2], EWMAMS: ewma})
+	}
 }

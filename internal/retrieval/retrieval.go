@@ -242,6 +242,53 @@ func (o *Online) SubmitFor(t float64, replicas []int, service float64) Completio
 	return Completion{Device: best, Start: bestStart, Finish: finish}
 }
 
+// NextFreeMasked returns the earliest instant any replica device inside
+// the availability mask becomes idle (bit d of mask set = device d may
+// serve). ok is false when no replica survives the mask. Allocation-free.
+func (o *Online) NextFreeMasked(replicas []int, mask uint64) (t float64, ok bool) {
+	for _, d := range replicas {
+		if mask&(1<<uint(d)) == 0 {
+			continue
+		}
+		if nf := o.nextFree[d]; !ok || nf < t {
+			t, ok = nf, true
+		}
+	}
+	return t, ok
+}
+
+// SubmitMasked schedules a request on the best replica inside the
+// availability mask — the degraded-mode twin of Submit, used when the
+// health subsystem has removed devices from service. ok is false (and
+// nothing is scheduled) when every replica is masked out. Allocation-free.
+func (o *Online) SubmitMasked(t float64, replicas []int, mask uint64) (Completion, bool) {
+	return o.SubmitMaskedFor(t, replicas, mask, o.service)
+}
+
+// SubmitMaskedFor is SubmitMasked with an explicit service duration.
+func (o *Online) SubmitMaskedFor(t float64, replicas []int, mask uint64, service float64) (Completion, bool) {
+	if service <= 0 {
+		panic(fmt.Sprintf("retrieval: non-positive service %g", service))
+	}
+	best := -1
+	var bestStart float64
+	for _, d := range replicas {
+		if mask&(1<<uint(d)) == 0 {
+			continue
+		}
+		if s := o.startTime(t, d); best < 0 || s < bestStart {
+			best, bestStart = d, s
+		}
+	}
+	if best < 0 {
+		return Completion{}, false
+	}
+	finish := bestStart + service
+	o.nextFree[best] = finish
+	o.busy[best] += service
+	return Completion{Device: best, Start: bestStart, Finish: finish}, true
+}
+
 func (o *Online) startTime(t float64, d int) float64 {
 	if o.nextFree[d] > t {
 		return o.nextFree[d]
