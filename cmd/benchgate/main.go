@@ -1,0 +1,170 @@
+// Command benchgate compares a `go test -bench` run against a committed
+// baseline and fails when a benchmark regressed past a tolerance — the
+// enforcement half of the CI benchmark gate (benchstat renders the same
+// comparison for humans; benchgate needs only the standard library, so
+// the gate is reproducible locally with no extra tools).
+//
+// Usage:
+//
+//	go test ./internal/retrieval -bench BenchmarkOnlineSubmit -benchtime 2s | tee bench-current.txt
+//	benchgate -baseline .github/bench-baseline.txt -current bench-current.txt -tolerance 0.10
+//
+// Benchmarks are matched by name with the trailing -GOMAXPROCS stripped,
+// so baselines survive runner core-count changes. Benchmarks present in
+// only one file are reported but do not fail the gate; regressions in
+// ns/op beyond the tolerance do. Exit status: 0 pass, 1 regression, 2
+// usage/parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	name string
+	nsOp float64
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkOnlineSubmit-8   30000000   38.2 ns/op   0 B/op   0 allocs/op
+//	BenchmarkServerThroughput/shards=4-8   12000   95012 ns/op
+//
+// Duplicate names (e.g. -count=N runs) keep the minimum ns/op — the
+// least-noisy estimate of the code's true cost.
+func parseBench(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		ns := -1.0
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := stripProcs(fields[0])
+		if prev, ok := out[name]; !ok || ns < prev.nsOp {
+			out[name] = result{name: name, nsOp: ns}
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes the trailing -GOMAXPROCS from a benchmark name
+// (the suffix after the last dash when it is all digits).
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// gate compares current against baseline and writes a report line per
+// benchmark. It returns the names that regressed past the tolerance.
+func gate(w *strings.Builder, baseline, current map[string]result, tolerance float64) []string {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed []string
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Fprintf(w, "SKIP %-50s baseline %.1f ns/op, not in current run\n", name, base.nsOp)
+			continue
+		}
+		delta := (cur.nsOp - base.nsOp) / base.nsOp
+		verdict := "ok  "
+		if delta > tolerance {
+			verdict = "FAIL"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(w, "%s %-50s %.1f -> %.1f ns/op (%+.1f%%, tolerance %+.0f%%)\n",
+			verdict, name, base.nsOp, cur.nsOp, 100*delta, 100*tolerance)
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "NEW  %-50s %.1f ns/op, not in baseline\n", name, current[name].nsOp)
+	}
+	return failed
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", ".github/bench-baseline.txt", "committed baseline `go test -bench` output")
+		currentPath  = flag.String("current", "", "current `go test -bench` output to gate")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed ns/op regression fraction")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := parseBench(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := parseBench(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results in %s\n", *baselinePath)
+		os.Exit(2)
+	}
+	var report strings.Builder
+	failed := gate(&report, baseline, current, *tolerance)
+	fmt.Print(report.String())
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed past %.0f%%: %s\n",
+			len(failed), 100**tolerance, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(baseline))
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `
+goos: linux
+BenchmarkOnlineSubmit-8   	30000000	        38.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOnlineSubmit-8   	30000000	        37.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServerThroughput/shards=4-16         	   12000	     95012 ns/op	          631182 ops/s
+BenchmarkNoNsOp-8     10    things
+PASS
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(got), got)
+	}
+	if r := got["BenchmarkOnlineSubmit"]; r.nsOp != 37.9 {
+		t.Errorf("duplicate runs should keep the minimum; got %.1f", r.nsOp)
+	}
+	if r := got["BenchmarkServerThroughput/shards=4"]; r.nsOp != 95012 {
+		t.Errorf("sub-benchmark ns/op = %.1f, want 95012", r.nsOp)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":            "BenchmarkX",
+		"BenchmarkX-16":           "BenchmarkX",
+		"BenchmarkX":              "BenchmarkX",
+		"BenchmarkX/k=4-8":        "BenchmarkX/k=4",
+		"BenchmarkX/shards=1-256": "BenchmarkX/shards=1",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]result{
+		"A": {name: "A", nsOp: 100},
+		"B": {name: "B", nsOp: 100},
+		"C": {name: "C", nsOp: 100},
+	}
+	current := map[string]result{
+		"A": {name: "A", nsOp: 109}, // +9%: inside 10% tolerance
+		"B": {name: "B", nsOp: 120}, // +20%: regression
+		"D": {name: "D", nsOp: 50},  // new, ignored
+		// C missing from current: skipped, not failed
+	}
+	var report strings.Builder
+	failed := gate(&report, baseline, current, 0.10)
+	if len(failed) != 1 || failed[0] != "B" {
+		t.Fatalf("failed = %v, want [B]", failed)
+	}
+	out := report.String()
+	for _, want := range []string{"ok   A", "FAIL B", "SKIP C", "NEW  D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Improvements never fail.
+	current["B"] = result{name: "B", nsOp: 10}
+	var r2 strings.Builder
+	if failed := gate(&r2, baseline, current, 0.10); len(failed) != 0 {
+		t.Errorf("improvement flagged as regression: %v", failed)
+	}
+}

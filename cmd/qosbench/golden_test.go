@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGoldenSeed42 pins the deterministic experiments' qosbench output at
+// the default seed 42 byte-for-byte. The selection covers the admission
+// engine end to end (closedloop drives core.Submit over thousands of
+// requests) while excluding experiments that report wall-clock rates or
+// need minutes of sampling. Regenerate deliberately with -update after an
+// intentional behavior change.
+func TestGoldenSeed42(t *testing.T) {
+	const seed = 42
+	sections := []struct {
+		name string
+		f    func(io.Writer) error
+	}{
+		{"table1", printTable1},
+		{"fig2", printFig2},
+		{"fig3", printFig3},
+		{"guarantees", printGuarantees},
+		{"designs", printDesigns},
+		{"closedloop", func(w io.Writer) error { return printClosedLoop(w, seed) }},
+		{"failure", func(w io.Writer) error { return printFailureAblation(w, seed) }},
+	}
+	var got bytes.Buffer
+	for _, s := range sections {
+		fmt.Fprintf(&got, "==================== %s ====================\n", s.name)
+		if err := s.f(&got); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		fmt.Fprintln(&got)
+	}
+
+	path := filepath.Join("testdata", "golden_seed42.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, got.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("qosbench output differs from %s (got %d bytes, want %d); regenerate with -update if the change is intentional",
+			path, got.Len(), len(want))
+	}
+}

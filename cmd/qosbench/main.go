@@ -10,9 +10,10 @@
 // Experiments: table1, table2, table3, table4, fig2, fig3, fig4, fig6,
 // fig7, fig8, fig9, fig10, fig11, fig12, guarantees, schemes, fim,
 // maxflow, designs, gc, hetero, failure, arraygc, fairness, mclock,
-// confidence, spatial, closedloop, sweep, report, all. Use -parallel to
-// run the selection concurrently and -run report for a self-contained
-// markdown report.
+// confidence, spatial, closedloop, sweep, shards, report, all. Use
+// -parallel to run the selection concurrently and -run report for a
+// self-contained markdown report. -cpuprofile/-memprofile write pprof
+// profiles of the run.
 package main
 
 import (
@@ -20,7 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -36,8 +40,36 @@ func main() {
 		trials   = flag.Int("trials", 20000, "sampling trials for fig4/table2")
 		parallel = flag.Bool("parallel", false, "run the selected experiments concurrently")
 		seeds    = flag.Int("seeds", 5, "seeds for the confidence experiment")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	all := map[string]func(io.Writer) error{
 		"table1":     func(w io.Writer) error { return printTable1(w) },
@@ -68,6 +100,7 @@ func main() {
 		"spatial":    func(w io.Writer) error { return printSpatial(w, *seed) },
 		"closedloop": func(w io.Writer) error { return printClosedLoop(w, *seed) },
 		"sweep":      func(w io.Writer) error { return printSweep(w, *seed, *scale) },
+		"shards":     func(w io.Writer) error { return printShardScaling(w) },
 		"report": func(w io.Writer) error {
 			return experiments.WriteReport(w, experiments.ReportConfig{Seed: *seed, Scale: *scale, Requests: *requests, Trials: *trials, Seeds: *seeds})
 		},
@@ -78,6 +111,7 @@ func main() {
 		"fig8", "fig9", "fig10", "table4", "fig11", "fig12",
 		"guarantees", "schemes", "fim", "maxflow", "designs", "gc", "hetero", "failure",
 		"arraygc", "fairness", "mclock", "confidence", "spatial", "closedloop", "sweep",
+		"shards",
 	}
 
 	var targets []string
@@ -501,6 +535,18 @@ func printSweep(w io.Writer, seed int64, scale float64) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "  (%2d,%d,1) M=%d S=%2d: delayed %6.2f%%  avg delay %.4f ms  utilization %.4f\n",
 			r.N, r.C, r.M, r.S, r.DelayedPct, r.AvgDelay, r.Utilization)
+	}
+	return nil
+}
+
+func printShardScaling(w io.Writer) error {
+	rows, err := experiments.ShardScaling([]int{1, 2, 4, 8}, 50, 80000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "in-guarantee admission throughput vs shard count (open-loop overload):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\n", r)
 	}
 	return nil
 }

@@ -11,6 +11,11 @@
 //	qosd -addr :7331 -n 9 -c 3 -m 1 -max-conns 256 -read-timeout 5m -drain-timeout 5s
 //	printf 'READ 42\nSTATS\nQUIT\n' | nc localhost 7331
 //
+// With -shards K the block space is hash-partitioned across K independent
+// (n,c,1) arrays (K·n devices, K·S guaranteed admissions per interval);
+// the protocol is unchanged and device ids become global (see
+// internal/shard).
+//
 // A device-health monitor is attached by default: the FAIL/RECOVER/HEALTH
 // admin verbs manage device availability, admission degrades to S' when
 // devices are out of service, and a token-bucket rebuild scheduler
@@ -30,6 +35,7 @@ import (
 	"flashqos/internal/health"
 	"flashqos/internal/qosnet"
 	"flashqos/internal/sampling"
+	"flashqos/internal/shard"
 )
 
 func main() {
@@ -38,6 +44,7 @@ func main() {
 		n       = flag.Int("n", 9, "flash modules")
 		c       = flag.Int("c", 3, "replicas per bucket")
 		m       = flag.Int("m", 1, "access guarantee target M")
+		shards  = flag.Int("shards", 1, "independent (n,c,1) arrays to hash-partition blocks across")
 		epsilon = flag.Float64("epsilon", 0, "statistical QoS threshold (0 = deterministic)")
 		table   = flag.String("table", "", "cached probability table (from qostable) for statistical QoS")
 
@@ -66,12 +73,12 @@ func main() {
 		}
 		cfg.Table = tab
 	}
-	sys, err := core.New(cfg)
+	arr, err := shard.New(*shards, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !*noHealth {
-		_, err := sys.NewHealthMonitor(*rebuildRate, health.Config{
+		err := arr.NewHealthMonitors(*rebuildRate, health.Config{
 			SuspectAfter: *suspectAfter,
 			FailAfter:    *failAfter,
 		})
@@ -79,7 +86,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	srv := qosnet.NewServerOpts(sys, qosnet.Options{
+	srv := qosnet.NewServerSharded(arr, qosnet.Options{
 		MaxConns:     *maxConns,
 		ReadTimeout:  *readTimeout,
 		MaxLineBytes: *maxLine,
@@ -93,8 +100,8 @@ func main() {
 		healthMode = fmt.Sprintf("on (suspect-after=%d fail-after=%d rebuild-rate=%g/s)",
 			*suspectAfter, *failAfter, *rebuildRate)
 	}
-	fmt.Printf("qosd: (%d,%d,1) design, M=%d, S=%d, epsilon=%g, health %s, listening on %s\n",
-		*n, *c, *m, sys.S(), *epsilon, healthMode, bound)
+	fmt.Printf("qosd: (%d,%d,1) design, M=%d, shards=%d, devices=%d, S=%d, epsilon=%g, health %s, listening on %s\n",
+		*n, *c, *m, arr.Shards(), arr.Devices(), arr.S(), *epsilon, healthMode, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

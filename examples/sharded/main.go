@@ -1,0 +1,83 @@
+// Sharded: scale the QoS framework past one array by hash-partitioning
+// the block space across K independent (9,3,1) engines.
+//
+// The demo makes the scaling argument concrete in three steps:
+//
+//  1. Capacity composes additively — an open-loop overload sweep shows
+//     the in-guarantee admission throughput growing K·S/T with the shard
+//     count (the experiments.ShardScaling numbers).
+//  2. Routing is deterministic and local — a block's replicas, and the
+//     device that serves it, always live inside its owning shard.
+//  3. Failures stay contained — failing a device degrades only its own
+//     shard to S', the aggregate limit drops by exactly S − S' of one
+//     shard, and the other shards keep the full guarantee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+	"flashqos/internal/experiments"
+	"flashqos/internal/health"
+	"flashqos/internal/shard"
+)
+
+func main() {
+	k := flag.Int("shards", 4, "shard count for the routing/failure demo")
+	flag.Parse()
+
+	// 1. Capacity scaling: offered load far past one array's S/T.
+	fmt.Println("== in-guarantee admission throughput vs shard count ==")
+	rows, err := experiments.ShardScaling([]int{1, 2, 4, 8}, 50, 80000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %s\n", r)
+	}
+	base := rows[0].GuaranteedPerMS
+	fmt.Printf("  scaling vs K=1:")
+	for _, r := range rows {
+		fmt.Printf(" %.1fx", r.GuaranteedPerMS/base)
+	}
+	fmt.Println()
+
+	// 2. Routing: blocks land on devices owned by their shard.
+	arr, err := shard.New(*k, core.Config{Design: design.Paper931()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := arr.NewHealthMonitors(0, health.Config{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== %d shards, %d devices, aggregate S=%d ==\n", arr.Shards(), arr.Devices(), arr.S())
+	at := 0.0
+	for _, block := range []int64{7, 42, 1001, 31337} {
+		out := arr.Submit(at, block)
+		at += 0.2
+		sh, local, _ := arr.DeviceShard(out.Device)
+		fmt.Printf("  block %6d -> shard %d, global device %2d (local %d), response %.3f ms\n",
+			block, sh, out.Device, local, out.Response())
+	}
+
+	// 3. Failure containment: take one device out, watch only its shard
+	// degrade from S to S'.
+	victimShard, victimLocal := 1, 4
+	victim := arr.GlobalDevice(victimShard, victimLocal)
+	if err := arr.Monitor(victimShard).Fail(victimLocal); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== after failing global device %d (shard %d) ==\n", victim, victimShard)
+	st := arr.Stats()
+	fmt.Printf("  aggregate: S=%d effective=%d alive=%d/%d\n", st.S, st.EffectiveS, st.Alive, st.Devices)
+	for i, ss := range st.PerShard {
+		note := ""
+		if ss.EffectiveS < ss.S {
+			note = "  <- degraded to S'"
+		}
+		fmt.Printf("  shard %d: S=%d effective=%d alive=%d%s\n", i, ss.S, ss.EffectiveS, ss.Alive, note)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"flashqos/internal/flashsim"
+	"flashqos/internal/trace"
+)
+
+func TestNormalizeService(t *testing.T) {
+	r, w := normalizeService(nil, 0, 0)
+	if r != flashsim.DefaultReadLatency || w != flashsim.DefaultWriteLatency {
+		t.Errorf("normalizeService(nil, 0, 0) = %g, %g, want flashsim defaults", r, w)
+	}
+	r, w = normalizeService(MemBackend{ReadMS: 0.2, WriteMS: 0.5}, 0, 0)
+	if r != 0.2 || w != 0.5 {
+		t.Errorf("normalizeService(mem, 0, 0) = %g, %g, want 0.2, 0.5", r, w)
+	}
+	r, w = normalizeService(DefaultBackend(), 0.3, 0.7)
+	if r != 0.3 || w != 0.7 {
+		t.Errorf("explicit service times overridden: got %g, %g", r, w)
+	}
+}
+
+// TestMemBackendMatchesSim proves the Backend seam: the raw-trace replay
+// produces identical reports over the in-memory FIFO backend and the
+// flashsim discrete-event model (which reduces to FIFO fixed-latency with
+// one way and no jitter).
+func TestMemBackendMatchesSim(t *testing.T) {
+	tr := &trace.Trace{Name: "seam", IntervalMS: 10}
+	for i := 0; i < 400; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			Arrival: float64(i) * 0.0493,
+			Block:   int64(i % 17),
+			Device:  (i * 7) % 5,
+		})
+	}
+	simRep, err := ReplayOriginalOn(DefaultBackend(), tr, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRep, err := ReplayOriginalOn(MemBackend{}, tr, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(simRep, memRep) {
+		t.Errorf("reports differ across backends:\nsim: %+v\nmem: %+v", simRep, memRep)
+	}
+	if simRep.Requests != 400 {
+		t.Errorf("replay served %d requests, want 400", simRep.Requests)
+	}
+}
+
+// TestBackendDefaultsFlowIntoSystem checks that a System picks its service
+// times up from the configured backend, end to end through admission.
+func TestBackendDefaultsFlowIntoSystem(t *testing.T) {
+	sys, err := New(Config{N: 9, C: 3, IntervalMS: 0.25, Backend: MemBackend{ReadMS: 0.2, WriteMS: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Backend().Name() != "mem" {
+		t.Errorf("backend name %q, want mem", sys.Backend().Name())
+	}
+	out := sys.Submit(0, 1)
+	if math.Abs(out.Response()-0.2) > 1e-12 {
+		t.Errorf("read response %g, want backend read latency 0.2", out.Response())
+	}
+	wout := sys.SubmitWrite(1.0, 2)
+	if math.Abs(wout.Response()-0.6) > 1e-12 {
+		t.Errorf("write response %g, want backend write latency 0.6", wout.Response())
+	}
+}
+
+func TestMemBackendFIFOOrder(t *testing.T) {
+	arr, err := MemBackend{ReadMS: 1}.NewArray(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two requests race on device 0; device 1 stays idle.
+	arr.Submit(1, 0, 0, 10)
+	arr.Submit(2, 0.5, 0, 11)
+	arr.Submit(3, 0.25, 1, 12)
+	cs := arr.Drain()
+	if len(cs) != 3 {
+		t.Fatalf("drained %d completions, want 3", len(cs))
+	}
+	// Completion order: dev0@1.0, dev1@1.25, dev0-queued@2.0.
+	wantFinish := []float64{1, 1.25, 2}
+	for i, c := range cs {
+		if c.FinishMS != wantFinish[i] {
+			t.Errorf("completion %d finish %g, want %g", i, c.FinishMS, wantFinish[i])
+		}
+	}
+	if cs[2].StartMS != 1 || cs[2].ArrivalMS != 0.5 {
+		t.Errorf("queued request start %g arrival %g, want start 1 arrival 0.5", cs[2].StartMS, cs[2].ArrivalMS)
+	}
+}

@@ -1,82 +1,55 @@
 package core
 
 import (
-	"math"
 	"sync"
-	"sync/atomic"
 
-	"flashqos/internal/admission"
 	"flashqos/internal/health"
-	"flashqos/internal/retrieval"
 )
 
 // ConcurrentSystem is a thread-safe admission/retrieval front-end over a
 // System, built for the network layer (internal/qosnet) where many tenant
 // connections submit requests at once.
 //
-// Concurrency model:
+// Concurrency model (see also ledger.go and engine.go):
 //
 //   - Replica lookup (block → design block → devices) is pure and runs
 //     without any lock. Remap must therefore NOT be called while requests
 //     are in flight; ConcurrentSystem deliberately does not expose it.
-//   - Interval-window admission counts live in sharded per-window atomic
-//     counters. A request reserves a slot with a CAS loop, so independent
-//     submissions — different windows, or free capacity in the same
-//     window — proceed in parallel while the per-window count provably
-//     never exceeds S (the test suite enforces this under -race).
-//   - A frontier hint remembers the earliest window that was ever observed
-//     full, so admission under overload is O(1) amortized instead of
-//     scanning full windows one by one (the sequential Submit's behavior).
+//   - NewConcurrent swaps the wrapped System's engine onto the sharded-CAS
+//     interval ledger (shardedLedger): window admission counts live in
+//     sharded per-window atomic counters, and a frontier hint keeps
+//     admission under overload O(1) amortized. The submit logic itself is
+//     the same engine code the sequential System runs — there is exactly
+//     one admission/retrieval implementation.
 //   - Device state (per-device next-free times) is the one genuinely
 //     global resource: picking the earliest-finishing replica and marking
 //     it busy must be atomic across devices, so a short mutex guards the
 //     scheduler. Everything else — parsing, replica lookup, window
 //     reservation, response formatting — runs outside it.
-//   - Statistical mode (Epsilon > 0) stays fully serialized through the
-//     sequential System: the Q estimator folds *closed* windows into its
-//     interval history in arrival order, an inherently sequential
-//     computation. The serial path clamps arrivals non-decreasing so
-//     concurrent callers cannot violate Submit's ordering contract.
+//   - Statistical mode (Epsilon > 0) stays fully serialized: the Q
+//     estimator folds *closed* windows into its interval history in
+//     arrival order, an inherently sequential computation. The serial path
+//     clamps arrivals non-decreasing so concurrent callers cannot violate
+//     the engine's ordering contract.
 //
 // The wrapped System must not be used directly while a ConcurrentSystem is
 // serving it.
 type ConcurrentSystem struct {
 	sys *System
 
-	schedMu sync.Mutex // guards sys.sched
-
-	// hint is the earliest window not yet observed full; windows below it
-	// are skipped on the admission fast path. It only advances, and it is
-	// advisory: per-window correctness comes from the CAS reservation, the
-	// hint only short-circuits the scan under sustained overload.
-	hint atomic.Int64
-
-	shards [windowShardCount]windowShard
-
-	serialMu    sync.Mutex // statistical mode: serializes the wrapped System
+	serialMu    sync.Mutex // statistical mode: serializes the engine
 	lastArrival float64    // under serialMu; clamps arrivals non-decreasing
 }
 
-const (
-	windowShardBits  = 6
-	windowShardCount = 1 << windowShardBits
-
-	// shardPruneLen bounds per-shard map growth on long-running servers:
-	// once a shard tracks this many windows, counters for windows far below
-	// the admission frontier (full and never revisited, because arrivals
-	// and the hint only move forward) are dropped.
-	shardPruneLen    = 4096
-	shardPruneMargin = 1024
-)
-
-type windowShard struct {
-	mu     sync.Mutex
-	counts map[int64]*atomic.Int32
-}
-
-// NewConcurrent wraps a System for concurrent submission. The System must
-// not be used concurrently elsewhere.
+// NewConcurrent wraps a System for concurrent submission, re-plugging its
+// engine onto the sharded ledger and a real scheduler mutex. Admission
+// state accumulated through the sequential facade is dropped. The System
+// must not be used concurrently elsewhere.
 func NewConcurrent(sys *System) *ConcurrentSystem {
+	eng := sys.engine
+	eng.ledger = newShardedLedger()
+	eng.schedMu = new(sync.Mutex)
+	eng.hinted = eng.ledger.tracksFrontier() && eng.stat == nil
 	return &ConcurrentSystem{sys: sys}
 }
 
@@ -115,123 +88,9 @@ func (s *ConcurrentSystem) Q() float64 {
 	return s.sys.Q()
 }
 
-// counter returns the admission counter for window w, creating it if
-// needed. The shard lock is held only for the map access; the counter
-// itself is operated on with atomics.
-func (s *ConcurrentSystem) counter(w int64) *atomic.Int32 {
-	sh := &s.shards[uint64(w)&(windowShardCount-1)]
-	sh.mu.Lock()
-	if sh.counts == nil {
-		sh.counts = make(map[int64]*atomic.Int32)
-	}
-	c, ok := sh.counts[w]
-	if !ok {
-		if len(sh.counts) >= shardPruneLen {
-			floor := s.hint.Load() - shardPruneMargin
-			for k := range sh.counts {
-				if k < floor {
-					delete(sh.counts, k)
-				}
-			}
-		}
-		c = new(atomic.Int32)
-		sh.counts[w] = c
-	}
-	sh.mu.Unlock()
-	return c
-}
-
-// reserve atomically claims n admission slots in window w, failing if that
-// would push the window past the caller's limit (S, or the degraded S'
-// snapshot the caller took). During a mask transition concurrent callers
-// may briefly hold different limits; each CAS enforces the limit its
-// caller observed, so the count never exceeds the largest concurrently
-// valid guarantee.
-func (s *ConcurrentSystem) reserve(w int64, n, limit int) bool {
-	c := s.counter(w)
-	for {
-		v := c.Load()
-		if v+int32(n) > int32(limit) {
-			return false
-		}
-		if c.CompareAndSwap(v, v+int32(n)) {
-			return true
-		}
-	}
-}
-
-// release returns n slots claimed by reserve (used when the scheduler
-// could not serve the request at the reserved time).
-func (s *ConcurrentSystem) release(w int64, n int) {
-	s.counter(w).Add(int32(-n))
-}
-
-// advanceHint records that window w was observed full. The hint is a
-// "no admission possible below" *prefix*, so a full window may only
-// extend it contiguously: a request can observe a full window far ahead
-// of the frontier (its admit time jumps over windows when its replica
-// devices are busy) while the skipped windows still have capacity for
-// other blocks. Advancing past those would starve them, so only a
-// failure at the frontier itself extends it.
-func (s *ConcurrentSystem) advanceHint(w int64) {
-	if h := s.hint.Load(); w == h {
-		s.hint.CompareAndSwap(h, w+1)
-	}
-}
-
-// advanceHintTo raises the hint to w outright — callers must guarantee no
-// request can ever be admitted below w. The one such proof is device
-// exhaustion (see deadBefore): windows whose whole time range has every
-// device busy are dead no matter how many admission slots remain, because
-// both the read path (one idle replica) and the write path (all replicas
-// idle) need a device free inside the window.
-func (s *ConcurrentSystem) advanceHintTo(w int64) {
-	for {
-		h := s.hint.Load()
-		if w <= h || s.hint.CompareAndSwap(h, w) {
-			return
-		}
-	}
-}
-
-// deadBefore returns the first window that could still admit a request by
-// the device criterion: the window holding the earliest next-free instant
-// across ALL devices. Device next-free times only move forward, so every
-// window strictly below stays unadmittable forever. Must be called with
-// schedMu held.
-func (s *ConcurrentSystem) deadBefore() int64 {
-	minAll := math.Inf(1)
-	for d := 0; d < s.sys.sched.Devices(); d++ {
-		if nf := s.sys.sched.NextFree(d); nf < minAll {
-			minAll = nf
-		}
-	}
-	return s.sys.window(minAll)
-}
-
-// startFrom applies the frontier hint: admission scanning can begin at the
-// hint window when it is ahead of the arrival. Only the Delay policy uses
-// the hint — it skips windows where admission is provably impossible, and
-// under Delay the scan provably converges to the same admit time either
-// way. Under Reject the outcome depends on which window the scan samples
-// first (a full window rejects immediately), so the scan must start at
-// the arrival exactly like the sequential path; it is O(1) there anyway,
-// because no branch of the Reject scan walks windows.
-func (s *ConcurrentSystem) startFrom(arrival float64) float64 {
-	if s.sys.cfg.Policy == admission.Reject {
-		return arrival
-	}
-	if h := s.hint.Load(); h > s.sys.window(arrival) {
-		if t := float64(h) * s.sys.cfg.IntervalMS; t > arrival {
-			return t
-		}
-	}
-	return arrival
-}
-
 // WindowCount reports the admitted count currently recorded for window w
 // (test hook; deterministic mode only).
-func (s *ConcurrentSystem) WindowCount(w int64) int { return int(s.counter(w).Load()) }
+func (s *ConcurrentSystem) WindowCount(w int64) int { return s.sys.ledger.count(w) }
 
 // Window returns the T-window index of a time (same arithmetic as the
 // sequential System).
@@ -239,20 +98,7 @@ func (s *ConcurrentSystem) Window(t float64) int64 { return s.sys.window(t) }
 
 // MaxWindowCount returns the largest admitted count recorded for any
 // tracked window — after quiescence it must never exceed S (test hook).
-func (s *ConcurrentSystem) MaxWindowCount() int {
-	max := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for _, c := range sh.counts {
-			if v := int(c.Load()); v > max {
-				max = v
-			}
-		}
-		sh.mu.Unlock()
-	}
-	return max
-}
+func (s *ConcurrentSystem) MaxWindowCount() int { return s.sys.ledger.maxCount() }
 
 // Submit runs one block read through concurrent admission control and
 // online retrieval. Unlike System.Submit, arrivals need not be ordered:
@@ -263,69 +109,7 @@ func (s *ConcurrentSystem) Submit(arrival float64, dataBlock int64) Outcome {
 	if s.sys.stat != nil {
 		return s.submitSerial(arrival, dataBlock, false)
 	}
-	replicas := s.sys.Replicas(dataBlock)
-	// One availability snapshot per request: a FAIL/RECOVER racing with
-	// this submission lands on either side of the snapshot, never halfway.
-	mask, limit, masked := s.sys.maskLimit()
-	if masked && aliveReplicas(replicas, mask) == 0 {
-		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
-	}
-	tAdm := s.startFrom(arrival)
-	for {
-		w := s.sys.window(tAdm)
-		if !s.reserve(w, 1, limit) {
-			if s.sys.cfg.Policy == admission.Reject {
-				return Outcome{Rejected: true, Admitted: arrival}
-			}
-			s.advanceHint(w + 1)
-			tAdm = float64(w+1) * s.sys.cfg.IntervalMS
-			continue
-		}
-		// Slot reserved in w. The guaranteed path also needs an idle
-		// available replica at tAdm so the response time stays at the
-		// service time.
-		s.schedMu.Lock()
-		tFree := math.Inf(1)
-		for _, d := range replicas {
-			if masked && mask&(1<<uint(d)) == 0 {
-				continue
-			}
-			if nf := s.sys.sched.NextFree(d); nf < tFree {
-				tFree = nf
-			}
-		}
-		if tFree <= tAdm {
-			var c retrieval.Completion
-			if masked {
-				c, _ = s.sys.sched.SubmitMasked(tAdm, replicas, mask)
-			} else {
-				c = s.sys.sched.Submit(tAdm, replicas)
-			}
-			s.schedMu.Unlock()
-			delay := tAdm - arrival
-			if delay < 0 {
-				delay = 0
-			}
-			return Outcome{
-				Admitted: tAdm,
-				Device:   c.Device,
-				Start:    c.Start,
-				Finish:   c.Finish,
-				Delay:    delay,
-				Delayed:  delay > delayTol,
-			}
-		}
-		alive := s.deadBefore()
-		s.schedMu.Unlock()
-		// No replica idle at the reserved time: give the slot back and
-		// retry at the earliest instant one frees up (strictly later, so
-		// the loop always progresses). Windows proven dead by device
-		// exhaustion are excluded from future scans so sustained overload
-		// stays O(1) per request instead of crawling the backlog.
-		s.release(w, 1)
-		s.advanceHintTo(alive)
-		tAdm = tFree
-	}
+	return s.sys.submit(arrival, dataBlock)
 }
 
 // SubmitWrite schedules a block write: c admission slots in one window and
@@ -334,76 +118,28 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 	if s.sys.stat != nil {
 		return s.submitSerial(arrival, dataBlock, true)
 	}
-	replicas := s.sys.Replicas(dataBlock)
-	mask, limit, masked := s.sys.maskLimit()
-	c := len(replicas)
-	if masked {
-		if c = aliveReplicas(replicas, mask); c == 0 {
-			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+	return s.sys.submitWrite(arrival, dataBlock)
+}
+
+// SubmitBatch admits a set of simultaneous block requests jointly, as in
+// System.SubmitBatch. The batch path allocates; it is not the lock-free
+// hot path.
+func (s *ConcurrentSystem) SubmitBatch(arrival float64, blocks []int64) []Outcome {
+	if s.sys.stat != nil {
+		s.serialMu.Lock()
+		defer s.serialMu.Unlock()
+		if arrival < s.lastArrival {
+			arrival = s.lastArrival
 		}
+		s.lastArrival = arrival
+		return s.sys.submitBatch(arrival, blocks)
 	}
-	tAdm := s.startFrom(arrival)
-	for {
-		w := s.sys.window(tAdm)
-		if !s.reserve(w, c, limit) {
-			if s.sys.cfg.Policy == admission.Reject {
-				return Outcome{Rejected: true, Admitted: arrival}
-			}
-			// The window may still have room for smaller requests, so the
-			// hint (which serves single-slot reads too) is not advanced.
-			tAdm = float64(w+1) * s.sys.cfg.IntervalMS
-			continue
-		}
-		s.schedMu.Lock()
-		tAllFree := tAdm
-		firstDev := -1
-		for _, d := range replicas {
-			if masked && mask&(1<<uint(d)) == 0 {
-				continue
-			}
-			if firstDev < 0 {
-				firstDev = d
-			}
-			if nf := s.sys.sched.NextFree(d); nf > tAllFree {
-				tAllFree = nf
-			}
-		}
-		if tAllFree <= tAdm {
-			finish := 0.0
-			for _, d := range replicas {
-				if masked && mask&(1<<uint(d)) == 0 {
-					continue
-				}
-				cmp := s.sys.sched.SubmitFor(tAdm, []int{d}, s.sys.cfg.WriteServiceMS)
-				if cmp.Finish > finish {
-					finish = cmp.Finish
-				}
-			}
-			s.schedMu.Unlock()
-			delay := tAdm - arrival
-			if delay < 0 {
-				delay = 0
-			}
-			return Outcome{
-				Admitted: tAdm,
-				Device:   firstDev,
-				Start:    tAdm,
-				Finish:   finish,
-				Delay:    delay,
-				Delayed:  delay > delayTol,
-			}
-		}
-		alive := s.deadBefore()
-		s.schedMu.Unlock()
-		s.release(w, c)
-		s.advanceHintTo(alive)
-		tAdm = tAllFree
-	}
+	return s.sys.submitBatch(arrival, blocks)
 }
 
 // submitSerial is the statistical-mode path: the Q estimator's interval
-// accounting is order-dependent, so requests take the sequential System
-// under a lock, with arrivals clamped non-decreasing.
+// accounting is order-dependent, so requests take the engine under a lock,
+// with arrivals clamped non-decreasing.
 func (s *ConcurrentSystem) submitSerial(arrival float64, dataBlock int64, write bool) Outcome {
 	s.serialMu.Lock()
 	defer s.serialMu.Unlock()
@@ -412,7 +148,7 @@ func (s *ConcurrentSystem) submitSerial(arrival float64, dataBlock int64, write 
 	}
 	s.lastArrival = arrival
 	if write {
-		return s.sys.SubmitWrite(arrival, dataBlock)
+		return s.sys.submitWrite(arrival, dataBlock)
 	}
-	return s.sys.Submit(arrival, dataBlock)
+	return s.sys.submit(arrival, dataBlock)
 }

@@ -288,13 +288,14 @@ func TestConcurrentAccessors(t *testing.T) {
 // while the invariant still holds for live ones.
 func TestWindowShardPruning(t *testing.T) {
 	cs := newConcurrent(t, Config{})
+	led := cs.System().ledger.(*shardedLedger)
 	// Touch many distinct windows directly through the counter path.
 	const windows = windowShardCount * (shardPruneLen + 100)
 	for w := int64(0); w < windows; w += windowShardCount {
-		cs.counter(w).Store(1)
-		cs.hint.Store(w) // frontier far ahead, as sustained overload leaves it
+		led.counter(w).Store(1)
+		led.hint.Store(w) // frontier far ahead, as sustained overload leaves it
 	}
-	sh := &cs.shards[0]
+	sh := &led.shards[0]
 	sh.mu.Lock()
 	n := len(sh.counts)
 	sh.mu.Unlock()

@@ -10,25 +10,25 @@
 //     requests retrieved per interval T (admission, sampling);
 //   - online or interval-aligned retrieval schedules admitted requests on
 //     replica devices (retrieval);
-//   - a discrete-event flash-array model provides service times (flashsim).
+//   - a pluggable storage Backend provides device latencies and raw-trace
+//     service (flashsim by default; see backend.go).
 //
-// The System type exposes the per-request online API used by the examples;
-// ReplayTrace drives a whole trace through the pipeline and produces the
-// per-interval report behind the paper's Figs 8–12.
+// One admission/retrieval engine implements the submit paths (engine.go);
+// System and ConcurrentSystem are facades over it that differ only in the
+// interval ledger and locking they plug in (ledger.go). The System type
+// exposes the per-request online API used by the examples; ReplayTrace
+// drives a whole trace through the pipeline and produces the per-interval
+// report behind the paper's Figs 8–12.
 package core
 
 import (
 	"fmt"
-	"math"
 
 	"flashqos/internal/admission"
 	"flashqos/internal/blockmap"
 	"flashqos/internal/decluster"
 	"flashqos/internal/design"
 	"flashqos/internal/fim"
-	"flashqos/internal/flashsim"
-	"flashqos/internal/health"
-	"flashqos/internal/retrieval"
 	"flashqos/internal/sampling"
 	"flashqos/internal/stats"
 	"flashqos/internal/trace"
@@ -71,10 +71,11 @@ type Config struct {
 	M int
 	// IntervalMS is the QoS interval T. Default 0.133 ms (paper §V-D).
 	IntervalMS float64
-	// ServiceMS is the per-block read time. Default 0.132507 ms.
+	// ServiceMS is the per-block read time. Defaults to the backend's read
+	// latency (0.132507 ms for the flashsim default).
 	ServiceMS float64
 	// WriteServiceMS is the per-block program time for the SubmitWrite
-	// extension. Default 0.350 ms.
+	// extension. Defaults to the backend's write latency (0.350 ms).
 	WriteServiceMS float64
 	// Epsilon enables statistical QoS when > 0 (§III-B); 0 is deterministic.
 	Epsilon float64
@@ -94,21 +95,22 @@ type Config struct {
 	Table        *sampling.Table
 	SampleTrials int
 	Seed         int64
+	// Backend supplies device latencies and raw-trace replay service.
+	// Default: the flashsim discrete-event model (DefaultBackend).
+	Backend Backend
 }
 
 func (c *Config) applyDefaults() {
+	if c.Backend == nil {
+		c.Backend = DefaultBackend()
+	}
 	if c.M == 0 {
 		c.M = 1
 	}
 	if c.IntervalMS == 0 {
 		c.IntervalMS = 0.133
 	}
-	if c.ServiceMS == 0 {
-		c.ServiceMS = flashsim.DefaultReadLatency
-	}
-	if c.WriteServiceMS == 0 {
-		c.WriteServiceMS = flashsim.DefaultWriteLatency
-	}
+	c.ServiceMS, c.WriteServiceMS = normalizeService(c.Backend, c.ServiceMS, c.WriteServiceMS)
 	if c.FIMMinSupport == 0 {
 		c.FIMMinSupport = 2
 	}
@@ -136,72 +138,21 @@ type Outcome struct {
 // paper's QoS lines plot (flat at the service time when guarantees hold).
 func (o Outcome) Response() float64 { return o.Finish - o.Admitted }
 
-// System is a running QoS instance.
+// System is a running QoS instance: the sequential facade over the shared
+// admission/retrieval engine, using the plain-map ledger and no locking.
+// Requests must be submitted in non-decreasing arrival order from a single
+// goroutine; wrap with NewConcurrent for multi-goroutine submission.
 type System struct {
-	cfg    Config
-	alloc  *decluster.DesignTheoretic
-	mapper *blockmap.Mapper
-	sched  *retrieval.Online
-	stat   *admission.Statistical // nil for deterministic
-	s      int                    // admission limit S(M)
-	health *health.Monitor        // nil unless AttachHealth was called
-
-	winCount   map[int64]int // admitted requests per T-window
-	lastClosed int64         // most recent window folded into stat counters
+	*engine
 }
 
 // New builds a system from the config.
 func New(cfg Config) (*System, error) {
-	cfg.applyDefaults()
-	d := cfg.Design
-	if d == nil {
-		var err error
-		d, err = design.ForParams(cfg.N, cfg.C)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-	}
-	alloc, err := decluster.NewDesignTheoretic(d)
+	eng, err := newEngine(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	if cfg.M < 1 {
-		return nil, fmt.Errorf("core: M must be >= 1, got %d", cfg.M)
-	}
-	if cfg.IntervalMS < cfg.ServiceMS {
-		return nil, fmt.Errorf("core: interval %g ms shorter than service time %g ms", cfg.IntervalMS, cfg.ServiceMS)
-	}
-	mapper, err := blockmap.NewMapper(alloc.Rows())
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	sys := &System{
-		cfg:        cfg,
-		alloc:      alloc,
-		mapper:     mapper,
-		sched:      retrieval.NewOnline(d.N, cfg.ServiceMS),
-		s:          d.S(cfg.M),
-		winCount:   make(map[int64]int),
-		lastClosed: -1,
-	}
-	if cfg.Epsilon > 0 {
-		tab := cfg.Table
-		if tab == nil {
-			tab, err = sampling.Estimate(alloc, sampling.Options{
-				MaxK:   2*d.N + sys.s,
-				Trials: cfg.SampleTrials,
-				Seed:   cfg.Seed + 1,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
-			}
-		}
-		sys.stat, err = admission.NewStatistical(sys.s, cfg.Epsilon, tab, cfg.Policy)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-	}
-	return sys, nil
+	return &System{engine: eng}, nil
 }
 
 // Allocator exposes the design-theoretic allocator.
@@ -216,11 +167,8 @@ func (s *System) Design() *design.Design { return s.alloc.Design() }
 // Mapper exposes the data-block mapper (for inspection).
 func (s *System) Mapper() *blockmap.Mapper { return s.mapper }
 
-// Replicas returns the devices storing a data block's copies, going through
-// the FIM/modulo design-block mapping.
-func (s *System) Replicas(dataBlock int64) []int {
-	return s.alloc.Replicas(s.mapper.DesignBlock(dataBlock))
-}
+// Backend returns the storage backend the system was configured with.
+func (s *System) Backend() Backend { return s.cfg.Backend }
 
 // Remap mines the previous interval's records (FIM, set size 2, window T)
 // and rebuilds the data-block → design-block mapping (§IV-A). Returns the
@@ -235,109 +183,13 @@ func (s *System) Remap(prev []trace.Record) int {
 	return len(pairs)
 }
 
-const delayTol = 1e-9
-
-// window returns the T-window index of a time. The small bias keeps times
-// computed as float64(w)*T — window starts — in window w despite rounding;
-// without it, bumping a delayed request to "the start of window w+1" can
-// floor back into window w and loop forever.
-func (s *System) window(t float64) int64 {
-	return int64(math.Floor(t/s.cfg.IntervalMS + windowEps))
-}
-
-// windowEps absorbs float rounding in window arithmetic (in units of
-// windows; times span < 1e9 windows, where float64 error is << 1e-6).
-const windowEps = 1e-6
-
-// closeWindows folds all windows before w into the statistical counters.
-func (s *System) closeWindows(w int64) {
-	if s.stat == nil {
-		s.lastClosed = w - 1
-		return
-	}
-	for i := s.lastClosed + 1; i < w; i++ {
-		s.stat.RecordInterval(s.winCount[i])
-	}
-	if w-1 > s.lastClosed {
-		s.lastClosed = w - 1
-	}
-}
-
 // Submit runs one block request through admission control and online
 // retrieval. Requests must be submitted in non-decreasing arrival order.
 // With a health monitor attached, retrieval skips unavailable devices and
 // admission enforces the degraded limit S' instead of S (the availability
 // snapshot is taken once per call).
 func (s *System) Submit(arrival float64, dataBlock int64) Outcome {
-	replicas := s.Replicas(dataBlock)
-	s.closeWindows(s.window(arrival))
-	mask, limit, masked := s.maskLimit()
-	if masked && aliveReplicas(replicas, mask) == 0 {
-		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
-	}
-
-	tAdm := arrival
-	for {
-		w := s.window(tAdm)
-		count := s.winCount[w]
-		// Earliest instant an available replica device is idle.
-		tFree := math.Inf(1)
-		for _, d := range replicas {
-			if masked && mask&(1<<uint(d)) == 0 {
-				continue
-			}
-			if nf := s.sched.NextFree(d); nf < tFree {
-				tFree = nf
-			}
-		}
-		deviceIdle := tFree <= tAdm
-		switch {
-		case count < limit && deviceIdle:
-			// Guaranteed path: serve immediately on an idle replica.
-			return s.admit(arrival, tAdm, w, replicas, mask, masked, true)
-		case s.stat != nil && s.stat.WouldAdmit(count+1):
-			// Statistical path: admit even though the window is over
-			// capacity or every replica is busy; the request may queue.
-			return s.admit(arrival, tAdm, w, replicas, mask, masked, false)
-		case count >= limit:
-			if s.cfg.Policy == admission.Reject {
-				return Outcome{Rejected: true, Delay: 0, Admitted: arrival}
-			}
-			tAdm = float64(w+1) * s.cfg.IntervalMS // next window
-		default: // capacity available but no idle replica
-			if tFree > tAdm {
-				tAdm = tFree
-			} else {
-				tAdm = float64(w+1) * s.cfg.IntervalMS
-			}
-		}
-	}
-}
-
-// admit schedules the request at time tAdm on the best available replica.
-func (s *System) admit(arrival, tAdm float64, w int64, replicas []int, mask uint64, masked, requireIdle bool) Outcome {
-	s.winCount[w]++
-	var c retrieval.Completion
-	if masked {
-		var ok bool
-		if c, ok = s.sched.SubmitMasked(tAdm, replicas, mask); !ok {
-			panic("core: admit with no available replica") // caller checked
-		}
-	} else {
-		c = s.sched.Submit(tAdm, replicas)
-	}
-	if requireIdle && c.Start > tAdm+delayTol {
-		panic("core: guaranteed-path request had to queue") // invariant
-	}
-	delay := tAdm - arrival
-	return Outcome{
-		Admitted: tAdm,
-		Device:   c.Device,
-		Start:    c.Start,
-		Finish:   c.Finish,
-		Delay:    delay,
-		Delayed:  delay > delayTol,
-	}
+	return s.submit(arrival, dataBlock)
 }
 
 // SubmitBatch admits a set of simultaneous block requests jointly — the
@@ -348,79 +200,7 @@ func (s *System) admit(arrival, tAdm float64, w int64, replicas []int, mask uint
 // the per-request path (delayed or rejected per policy). Outcomes are in
 // input order.
 func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
-	if len(blocks) == 0 {
-		return nil
-	}
-	s.closeWindows(s.window(arrival))
-	mask, limit, masked := s.maskLimit()
-	w := s.window(arrival)
-	room := limit - s.winCount[w]
-	if room < 0 {
-		room = 0
-	}
-	take := len(blocks)
-	if take > room {
-		take = room
-	}
-	out := make([]Outcome, len(blocks))
-	if take > 0 {
-		replicas := make([][]int, take)
-		for i := 0; i < take; i++ {
-			replicas[i] = s.Replicas(blocks[i])
-			if masked {
-				// Degraded batch: restrict the joint assignment to the
-				// surviving replicas (allocates; the batch path is not the
-				// zero-alloc hot path).
-				alive := make([]int, 0, len(replicas[i]))
-				for _, d := range replicas[i] {
-					if mask&(1<<uint(d)) != 0 {
-						alive = append(alive, d)
-					}
-				}
-				if len(alive) == 0 {
-					out[i] = Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
-					replicas[i] = nil
-					continue
-				}
-				replicas[i] = alive
-			}
-		}
-		if masked {
-			// Compact out unavailable blocks before the joint assignment.
-			live := replicas[:0]
-			idx := make([]int, 0, take)
-			for i, r := range replicas {
-				if r != nil {
-					live = append(live, r)
-					idx = append(idx, i)
-				}
-			}
-			s.winCount[w] += len(live)
-			for j, c := range s.sched.SubmitBatch(arrival, live) {
-				out[idx[j]] = Outcome{
-					Admitted: arrival,
-					Device:   c.Device,
-					Start:    c.Start,
-					Finish:   c.Finish,
-				}
-			}
-		} else {
-			s.winCount[w] += take
-			for i, c := range s.sched.SubmitBatch(arrival, replicas) {
-				out[i] = Outcome{
-					Admitted: arrival,
-					Device:   c.Device,
-					Start:    c.Start,
-					Finish:   c.Finish,
-				}
-			}
-		}
-	}
-	// Overflow: per-request path (next windows).
-	for i := take; i < len(blocks); i++ {
-		out[i] = s.Submit(arrival, blocks[i])
-	}
-	return out
+	return s.submitBatch(arrival, blocks)
 }
 
 // SubmitWrite schedules a block write — an extension beyond the paper's
@@ -436,65 +216,7 @@ func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
 // only the available replicas and consume only that many admission slots;
 // the rebuild scheduler owns bringing the missing copies back in sync.
 func (s *System) SubmitWrite(arrival float64, dataBlock int64) Outcome {
-	replicas := s.Replicas(dataBlock)
-	s.closeWindows(s.window(arrival))
-	mask, limit, masked := s.maskLimit()
-	c := len(replicas)
-	if masked {
-		if c = aliveReplicas(replicas, mask); c == 0 {
-			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
-		}
-	}
-
-	tAdm := arrival
-	for {
-		w := s.window(tAdm)
-		count := s.winCount[w]
-		// All available replicas must be free simultaneously.
-		tAllFree := tAdm
-		firstDev := -1
-		for _, d := range replicas {
-			if masked && mask&(1<<uint(d)) == 0 {
-				continue
-			}
-			if firstDev < 0 {
-				firstDev = d
-			}
-			if nf := s.sched.NextFree(d); nf > tAllFree {
-				tAllFree = nf
-			}
-		}
-		switch {
-		case count+c <= limit && tAllFree <= tAdm:
-			s.winCount[w] += c
-			finish := 0.0
-			for _, d := range replicas {
-				if masked && mask&(1<<uint(d)) == 0 {
-					continue
-				}
-				cmp := s.sched.SubmitFor(tAdm, []int{d}, s.cfg.WriteServiceMS)
-				if cmp.Finish > finish {
-					finish = cmp.Finish
-				}
-			}
-			delay := tAdm - arrival
-			return Outcome{
-				Admitted: tAdm,
-				Device:   firstDev,
-				Start:    tAdm,
-				Finish:   finish,
-				Delay:    delay,
-				Delayed:  delay > delayTol,
-			}
-		case count+c > limit:
-			if s.cfg.Policy == admission.Reject {
-				return Outcome{Rejected: true, Admitted: arrival}
-			}
-			tAdm = float64(w+1) * s.cfg.IntervalMS
-		default:
-			tAdm = tAllFree
-		}
-	}
+	return s.submitWrite(arrival, dataBlock)
 }
 
 // Q returns the statistical controller's current estimate of the
@@ -514,7 +236,7 @@ func (s *System) Q() float64 {
 // Reset clears all scheduling and admission state (the mapper is kept).
 func (s *System) Reset() {
 	s.sched.Reset()
-	s.winCount = make(map[int64]int)
+	s.ledger.reset()
 	s.lastClosed = -1
 }
 
@@ -775,15 +497,20 @@ func (s *System) replayAligned(tr *trace.Trace) *Report {
 
 // ReplayOriginal replays a trace "as stated" (the paper's original stand,
 // §V-D): every request goes to the device named in the trace record, FCFS,
-// with no admission control. The response times include queueing delay.
+// with no admission control, on the default flashsim backend. The response
+// times include queueing delay.
 func ReplayOriginal(tr *trace.Trace, devices int, serviceMS float64) (*Report, error) {
+	return ReplayOriginalOn(DefaultBackend(), tr, devices, serviceMS)
+}
+
+// ReplayOriginalOn is ReplayOriginal against an explicit storage backend; a
+// serviceMS of 0 falls back to the backend's read latency.
+func ReplayOriginalOn(b Backend, tr *trace.Trace, devices int, serviceMS float64) (*Report, error) {
 	if devices < 1 {
 		return nil, fmt.Errorf("core: devices must be >= 1")
 	}
-	if serviceMS <= 0 {
-		serviceMS = flashsim.DefaultReadLatency
-	}
-	arr, err := flashsim.New(flashsim.Config{Modules: devices, ReadLatency: serviceMS})
+	serviceMS, _ = normalizeService(b, serviceMS, 0)
+	arr, err := b.NewArray(devices, serviceMS)
 	if err != nil {
 		return nil, err
 	}
@@ -793,9 +520,9 @@ func ReplayOriginal(tr *trace.Trace, devices int, serviceMS float64) (*Report, e
 			continue
 		}
 		id++
-		arr.Submit(flashsim.Request{ID: id, Arrival: r.Arrival, Module: r.Device % devices, Block: r.Block})
+		arr.Submit(id, r.Arrival, r.Device%devices, r.Block)
 	}
-	cs := arr.Run()
+	cs := arr.Drain()
 	rep := &Report{Name: tr.Name + " (original)"}
 	n := tr.NumIntervals()
 	respI := make([]stats.Summary, n)
@@ -803,13 +530,13 @@ func ReplayOriginal(tr *trace.Trace, devices int, serviceMS float64) (*Report, e
 	for _, c := range cs {
 		iv := 0
 		if tr.IntervalMS > 0 {
-			iv = int(c.Arrival / tr.IntervalMS)
+			iv = int(c.ArrivalMS / tr.IntervalMS)
 		}
 		if iv >= n {
 			iv = n - 1
 		}
-		respI[iv].Add(c.Response())
-		respAll.Add(c.Response())
+		respI[iv].Add(c.ResponseMS())
+		respAll.Add(c.ResponseMS())
 	}
 	for i := 0; i < n; i++ {
 		rep.Intervals = append(rep.Intervals, IntervalReport{

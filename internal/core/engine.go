@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"flashqos/internal/admission"
+	"flashqos/internal/blockmap"
+	"flashqos/internal/decluster"
+	"flashqos/internal/design"
+	"flashqos/internal/health"
+	"flashqos/internal/retrieval"
+	"flashqos/internal/sampling"
+)
+
+// engine is the one admission/retrieval implementation behind both System
+// and ConcurrentSystem. The facades differ only in the parts they plug in:
+//
+//   - ledger: seqLedger (plain map) vs shardedLedger (CAS counters + hint);
+//   - schedMu: noLock vs a real mutex around the device scheduler;
+//   - hinted: whether the frontier hint is consulted and maintained.
+//
+// The submit paths themselves — window scan, mask snapshot, reserve,
+// idle-replica check, statistical over-admission, write slot accounting —
+// are written once here, reserve-first: a slot is claimed in the ledger
+// before the scheduler is consulted and released again when no replica is
+// usable at the reserved time. Single-threaded this is outcome-equivalent
+// to the historical check-first loop (counts only differ transiently
+// within one call), which is what keeps System and ConcurrentSystem
+// bit-identical to their pre-refactor outputs (see TestEngineGolden).
+type engine struct {
+	cfg    Config
+	alloc  *decluster.DesignTheoretic
+	mapper *blockmap.Mapper
+	sched  *retrieval.Online
+	stat   *admission.Statistical // nil for deterministic
+	s      int                    // admission limit S(M)
+	health *health.Monitor        // nil unless AttachHealth was called
+
+	ledger  intervalLedger
+	schedMu sync.Locker // guards sched; noLock for single-caller systems
+	hinted  bool        // ledger tracks a frontier and stat == nil
+
+	lastClosed int64 // most recent window folded into stat counters
+}
+
+// noLock is the no-op Locker the sequential facade plugs in: the zero-size
+// value adds no allocation and the calls compile to nothing but the
+// interface dispatch.
+type noLock struct{}
+
+func (noLock) Lock()   {}
+func (noLock) Unlock() {}
+
+// newEngine builds the engine from the config with the sequential ledger
+// and no scheduler lock; NewConcurrent swaps those for the lock-free parts.
+func newEngine(cfg Config) (*engine, error) {
+	cfg.applyDefaults()
+	d := cfg.Design
+	if d == nil {
+		var err error
+		d, err = design.ForParams(cfg.N, cfg.C)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	alloc, err := decluster.NewDesignTheoretic(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("core: M must be >= 1, got %d", cfg.M)
+	}
+	if cfg.IntervalMS < cfg.ServiceMS {
+		return nil, fmt.Errorf("core: interval %g ms shorter than service time %g ms", cfg.IntervalMS, cfg.ServiceMS)
+	}
+	mapper, err := blockmap.NewMapper(alloc.Rows())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := &engine{
+		cfg:        cfg,
+		alloc:      alloc,
+		mapper:     mapper,
+		sched:      retrieval.NewOnline(d.N, cfg.ServiceMS),
+		s:          d.S(cfg.M),
+		ledger:     newSeqLedger(),
+		schedMu:    noLock{},
+		lastClosed: -1,
+	}
+	if cfg.Epsilon > 0 {
+		tab := cfg.Table
+		if tab == nil {
+			tab, err = sampling.Estimate(alloc, sampling.Options{
+				MaxK:   2*d.N + e.s,
+				Trials: cfg.SampleTrials,
+				Seed:   cfg.Seed + 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		e.stat, err = admission.NewStatistical(e.s, cfg.Epsilon, tab, cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Replicas returns the devices storing a data block's copies, going through
+// the FIM/modulo design-block mapping.
+func (e *engine) Replicas(dataBlock int64) []int {
+	return e.alloc.Replicas(e.mapper.DesignBlock(dataBlock))
+}
+
+const delayTol = 1e-9
+
+// window returns the T-window index of a time. The small bias keeps times
+// computed as float64(w)*T — window starts — in window w despite rounding;
+// without it, bumping a delayed request to "the start of window w+1" can
+// floor back into window w and loop forever.
+func (e *engine) window(t float64) int64 {
+	return int64(math.Floor(t/e.cfg.IntervalMS + windowEps))
+}
+
+// windowEps absorbs float rounding in window arithmetic (in units of
+// windows; times span < 1e9 windows, where float64 error is << 1e-6).
+const windowEps = 1e-6
+
+// closeWindows folds all windows before w into the statistical counters.
+// Only the statistical path calls it: the Q estimator is the sole consumer
+// of closed-window counts, and skipping the bookkeeping in deterministic
+// mode keeps concurrent submissions free of shared non-atomic state.
+func (e *engine) closeWindows(w int64) {
+	for i := e.lastClosed + 1; i < w; i++ {
+		e.stat.RecordInterval(e.ledger.count(i))
+	}
+	if w-1 > e.lastClosed {
+		e.lastClosed = w - 1
+	}
+}
+
+// startFrom applies the frontier hint: admission scanning can begin at the
+// hint window when it is ahead of the arrival. Only the deterministic
+// Delay policy uses the hint — it skips windows where admission is
+// provably impossible, and under Delay the scan provably converges to the
+// same admit time either way. Under Reject the outcome depends on which
+// window the scan samples first (a full window rejects immediately), so
+// the scan must start at the arrival exactly like the hintless path; it is
+// O(1) there anyway, because no branch of the Reject scan walks windows.
+// Statistical mode may admit into windows past their deterministic limit,
+// which voids the "provably impossible" premise, so it never uses hints.
+func (e *engine) startFrom(arrival float64) float64 {
+	if !e.hinted || e.cfg.Policy == admission.Reject {
+		return arrival
+	}
+	if h := e.ledger.frontier(); h > e.window(arrival) {
+		if t := float64(h) * e.cfg.IntervalMS; t > arrival {
+			return t
+		}
+	}
+	return arrival
+}
+
+// deadBefore returns the first window that could still admit a request by
+// the device criterion: the window holding the earliest next-free instant
+// across ALL devices. Device next-free times only move forward, so every
+// window strictly below stays unadmittable forever. Must be called with
+// schedMu held.
+func (e *engine) deadBefore() int64 {
+	minAll := math.Inf(1)
+	for d := 0; d < e.sched.Devices(); d++ {
+		if nf := e.sched.NextFree(d); nf < minAll {
+			minAll = nf
+		}
+	}
+	return e.window(minAll)
+}
+
+// submit runs one block read through admission control and online
+// retrieval: the shared implementation behind System.Submit and
+// ConcurrentSystem.Submit.
+func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
+	replicas := e.Replicas(dataBlock)
+	if e.stat != nil {
+		e.closeWindows(e.window(arrival))
+	}
+	// One availability snapshot per request: a FAIL/RECOVER racing with
+	// this submission lands on either side of the snapshot, never halfway.
+	mask, limit, masked := e.maskLimit()
+	if masked && aliveReplicas(replicas, mask) == 0 {
+		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+	}
+	tAdm := e.startFrom(arrival)
+	for {
+		w := e.window(tAdm)
+		if !e.ledger.tryReserve(w, 1, limit) {
+			// Window w is full under the snapshot limit.
+			if e.stat != nil && e.stat.WouldAdmit(e.ledger.count(w)+1) {
+				// Statistical path: admit past the deterministic limit; the
+				// request may queue behind busy replicas (§III-B).
+				e.ledger.add(w, 1)
+				return e.schedule(arrival, tAdm, replicas, mask, masked, false)
+			}
+			if e.cfg.Policy == admission.Reject {
+				return Outcome{Rejected: true, Admitted: arrival}
+			}
+			if e.hinted {
+				e.ledger.noteFull(w + 1)
+			}
+			tAdm = float64(w+1) * e.cfg.IntervalMS // next window
+			continue
+		}
+		// Slot reserved in w. The guaranteed path also needs an idle
+		// available replica at tAdm so the response stays at the service
+		// time.
+		e.schedMu.Lock()
+		tFree := math.Inf(1)
+		for _, d := range replicas {
+			if masked && mask&(1<<uint(d)) == 0 {
+				continue
+			}
+			if nf := e.sched.NextFree(d); nf < tFree {
+				tFree = nf
+			}
+		}
+		if tFree <= tAdm {
+			out := e.scheduleLocked(arrival, tAdm, replicas, mask, masked, true)
+			e.schedMu.Unlock()
+			return out
+		}
+		if e.stat != nil && e.stat.WouldAdmit(e.ledger.count(w)) {
+			// Statistical path with the reservation kept: every replica is
+			// busy, but the estimator accepts the risk and the request
+			// queues. count(w) already includes this request's slot.
+			out := e.scheduleLocked(arrival, tAdm, replicas, mask, masked, false)
+			e.schedMu.Unlock()
+			return out
+		}
+		var dead int64
+		if e.hinted {
+			dead = e.deadBefore()
+		}
+		e.schedMu.Unlock()
+		// No replica idle at the reserved time: give the slot back and
+		// retry at the earliest instant one frees up (strictly later, so
+		// the loop always progresses). Windows proven dead by device
+		// exhaustion are excluded from future scans so sustained overload
+		// stays O(1) per request instead of crawling the backlog.
+		e.ledger.release(w, 1)
+		if e.hinted {
+			e.ledger.noteDeadBefore(dead)
+		}
+		tAdm = tFree
+	}
+}
+
+// schedule wraps scheduleLocked in the scheduler lock.
+func (e *engine) schedule(arrival, tAdm float64, replicas []int, mask uint64, masked, requireIdle bool) Outcome {
+	e.schedMu.Lock()
+	out := e.scheduleLocked(arrival, tAdm, replicas, mask, masked, requireIdle)
+	e.schedMu.Unlock()
+	return out
+}
+
+// scheduleLocked places the admitted request on the best available replica
+// at time tAdm. Must be called with schedMu held; the admission slot has
+// already been charged to the ledger.
+func (e *engine) scheduleLocked(arrival, tAdm float64, replicas []int, mask uint64, masked, requireIdle bool) Outcome {
+	var c retrieval.Completion
+	if masked {
+		var ok bool
+		if c, ok = e.sched.SubmitMasked(tAdm, replicas, mask); !ok {
+			panic("core: admit with no available replica") // caller checked
+		}
+	} else {
+		c = e.sched.Submit(tAdm, replicas)
+	}
+	if requireIdle && c.Start > tAdm+delayTol {
+		panic("core: guaranteed-path request had to queue") // invariant
+	}
+	delay := tAdm - arrival
+	if delay < 0 {
+		delay = 0
+	}
+	return Outcome{
+		Admitted: tAdm,
+		Device:   c.Device,
+		Start:    c.Start,
+		Finish:   c.Finish,
+		Delay:    delay,
+		Delayed:  delay > delayTol,
+	}
+}
+
+// submitWrite schedules a block write: c admission slots in one window and
+// every available replica device idle simultaneously. Shared implementation
+// behind System.SubmitWrite and ConcurrentSystem.SubmitWrite.
+func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
+	replicas := e.Replicas(dataBlock)
+	if e.stat != nil {
+		e.closeWindows(e.window(arrival))
+	}
+	mask, limit, masked := e.maskLimit()
+	c := len(replicas)
+	if masked {
+		if c = aliveReplicas(replicas, mask); c == 0 {
+			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+		}
+	}
+	tAdm := e.startFrom(arrival)
+	for {
+		w := e.window(tAdm)
+		if !e.ledger.tryReserve(w, c, limit) {
+			if e.cfg.Policy == admission.Reject {
+				return Outcome{Rejected: true, Admitted: arrival}
+			}
+			// The window may still have room for smaller requests, so the
+			// frontier (which serves single-slot reads too) is not advanced.
+			tAdm = float64(w+1) * e.cfg.IntervalMS
+			continue
+		}
+		// All available replicas must be free simultaneously.
+		e.schedMu.Lock()
+		tAllFree := tAdm
+		firstDev := -1
+		for _, d := range replicas {
+			if masked && mask&(1<<uint(d)) == 0 {
+				continue
+			}
+			if firstDev < 0 {
+				firstDev = d
+			}
+			if nf := e.sched.NextFree(d); nf > tAllFree {
+				tAllFree = nf
+			}
+		}
+		if tAllFree <= tAdm {
+			finish := 0.0
+			for _, d := range replicas {
+				if masked && mask&(1<<uint(d)) == 0 {
+					continue
+				}
+				cmp := e.sched.SubmitFor(tAdm, []int{d}, e.cfg.WriteServiceMS)
+				if cmp.Finish > finish {
+					finish = cmp.Finish
+				}
+			}
+			e.schedMu.Unlock()
+			delay := tAdm - arrival
+			if delay < 0 {
+				delay = 0
+			}
+			return Outcome{
+				Admitted: tAdm,
+				Device:   firstDev,
+				Start:    tAdm,
+				Finish:   finish,
+				Delay:    delay,
+				Delayed:  delay > delayTol,
+			}
+		}
+		var dead int64
+		if e.hinted {
+			dead = e.deadBefore()
+		}
+		e.schedMu.Unlock()
+		e.ledger.release(w, c)
+		if e.hinted {
+			e.ledger.noteDeadBefore(dead)
+		}
+		tAdm = tAllFree
+	}
+}
+
+// submitBatch admits a set of simultaneous block requests jointly — the
+// §III interval model. Shared implementation behind System.SubmitBatch and
+// ConcurrentSystem.SubmitBatch.
+func (e *engine) submitBatch(arrival float64, blocks []int64) []Outcome {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if e.stat != nil {
+		e.closeWindows(e.window(arrival))
+	}
+	mask, limit, masked := e.maskLimit()
+	w := e.window(arrival)
+	// Reserve up to the window's remaining capacity. Under concurrent
+	// submission another caller can shrink the room between the read and
+	// the reserve, so retry with the smaller room until a reservation
+	// sticks (single-threaded the first attempt always does).
+	var take int
+	for {
+		room := limit - e.ledger.count(w)
+		if room < 0 {
+			room = 0
+		}
+		take = len(blocks)
+		if take > room {
+			take = room
+		}
+		if take == 0 || e.ledger.tryReserve(w, take, limit) {
+			break
+		}
+	}
+	out := make([]Outcome, len(blocks))
+	if take > 0 {
+		replicas := make([][]int, take)
+		unavailable := 0
+		for i := 0; i < take; i++ {
+			replicas[i] = e.Replicas(blocks[i])
+			if masked {
+				// Degraded batch: restrict the joint assignment to the
+				// surviving replicas (allocates; the batch path is not the
+				// zero-alloc hot path).
+				alive := make([]int, 0, len(replicas[i]))
+				for _, d := range replicas[i] {
+					if mask&(1<<uint(d)) != 0 {
+						alive = append(alive, d)
+					}
+				}
+				if len(alive) == 0 {
+					out[i] = Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+					replicas[i] = nil
+					unavailable++
+					continue
+				}
+				replicas[i] = alive
+			}
+		}
+		if masked {
+			// Compact out unavailable blocks before the joint assignment;
+			// their reserved slots go back (they consume no budget).
+			live := replicas[:0]
+			idx := make([]int, 0, take)
+			for i, r := range replicas {
+				if r != nil {
+					live = append(live, r)
+					idx = append(idx, i)
+				}
+			}
+			if unavailable > 0 {
+				e.ledger.release(w, unavailable)
+			}
+			e.schedMu.Lock()
+			cs := e.sched.SubmitBatch(arrival, live)
+			e.schedMu.Unlock()
+			for j, c := range cs {
+				out[idx[j]] = Outcome{
+					Admitted: arrival,
+					Device:   c.Device,
+					Start:    c.Start,
+					Finish:   c.Finish,
+				}
+			}
+		} else {
+			e.schedMu.Lock()
+			cs := e.sched.SubmitBatch(arrival, replicas)
+			e.schedMu.Unlock()
+			for i, c := range cs {
+				out[i] = Outcome{
+					Admitted: arrival,
+					Device:   c.Device,
+					Start:    c.Start,
+					Finish:   c.Finish,
+				}
+			}
+		}
+	}
+	// Overflow: per-request path (next windows).
+	for i := take; i < len(blocks); i++ {
+		out[i] = e.submit(arrival, blocks[i])
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"flashqos/internal/admission"
+	"flashqos/internal/design"
+	"flashqos/internal/health"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenRequest is one record of the fixed seed-42 workload.
+type goldenRequest struct {
+	arrival float64
+	block   int64
+	write   bool
+}
+
+// goldenWorkload generates the committed workload: 1500 requests with
+// sorted arrivals dense enough to overflow windows, ~1/8 writes.
+func goldenWorkload() []goldenRequest {
+	rng := rand.New(rand.NewSource(42))
+	reqs := make([]goldenRequest, 1500)
+	arrivals := make([]float64, len(reqs))
+	for i := range arrivals {
+		arrivals[i] = rng.Float64() * 25 // ms
+	}
+	sort.Float64s(arrivals)
+	for i := range reqs {
+		reqs[i] = goldenRequest{
+			arrival: arrivals[i],
+			block:   int64(rng.Intn(4000)),
+			write:   rng.Intn(8) == 0,
+		}
+	}
+	return reqs
+}
+
+type submitter interface {
+	Submit(arrival float64, dataBlock int64) Outcome
+	SubmitWrite(arrival float64, dataBlock int64) Outcome
+}
+
+// goldenRun drives the workload through one system variant and appends
+// the exact outcomes.
+func goldenRun(buf *bytes.Buffer, label string, sub submitter, reqs []goldenRequest) {
+	fmt.Fprintf(buf, "== %s ==\n", label)
+	for i, r := range reqs {
+		var out Outcome
+		if r.write {
+			out = sub.SubmitWrite(r.arrival, r.block)
+		} else {
+			out = sub.Submit(r.arrival, r.block)
+		}
+		fmt.Fprintf(buf, "%4d arr=%.9f blk=%d w=%v -> rej=%v dev=%d adm=%.9f start=%.9f fin=%.9f delay=%.9f delayed=%v\n",
+			i, r.arrival, r.block, r.write, out.Rejected, out.Device, out.Admitted, out.Start, out.Finish, out.Delay, out.Delayed)
+	}
+}
+
+// goldenSystem builds one variant. masked fails device 4 before any
+// submission, so every decision runs against a degraded S' mask.
+func goldenSystem(t *testing.T, policy admission.Policy, masked, concurrent bool) submitter {
+	t.Helper()
+	sys, err := New(Config{Design: design.Paper931(), Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked {
+		mon, err := sys.NewHealthMonitor(0, health.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Fail(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if concurrent {
+		return NewConcurrent(sys)
+	}
+	return sys
+}
+
+// TestGoldenSeed42 locks the engine's observable behavior to a committed
+// byte-for-byte transcript: the same seed-42 workload through the
+// sequential and concurrent facades, masked (device 4 failed, S'=3) and
+// unmasked, under both admission policies. The sequential and concurrent
+// sections must be identical to each other (the bit-identity contract of
+// the shared engine) and to testdata/golden_seed42.txt (no drift across
+// refactors). Regenerate deliberately with -update.
+func TestGoldenSeed42(t *testing.T) {
+	reqs := goldenWorkload()
+	variants := []struct {
+		policy admission.Policy
+		name   string
+		masked bool
+	}{
+		{admission.Delay, "delay/unmasked", false},
+		{admission.Delay, "delay/masked", true},
+		{admission.Reject, "reject/unmasked", false},
+		{admission.Reject, "reject/masked", true},
+	}
+	var golden bytes.Buffer
+	for _, v := range variants {
+		var seq, conc bytes.Buffer
+		goldenRun(&seq, "sequential/"+v.name, goldenSystem(t, v.policy, v.masked, false), reqs)
+		goldenRun(&conc, "concurrent/"+v.name, goldenSystem(t, v.policy, v.masked, true), reqs)
+		// Bit-identity across facades: same engine, same outputs, modulo
+		// the section label.
+		seqBody := bytes.TrimPrefix(seq.Bytes(), []byte("== sequential/"+v.name+" ==\n"))
+		concBody := bytes.TrimPrefix(conc.Bytes(), []byte("== concurrent/"+v.name+" ==\n"))
+		if !bytes.Equal(seqBody, concBody) {
+			t.Errorf("%s: concurrent facade diverges from sequential facade", v.name)
+		}
+		golden.Write(seq.Bytes())
+		golden.Write(conc.Bytes())
+	}
+
+	path := filepath.Join("testdata", "golden_seed42.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, golden.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, golden.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(golden.Bytes(), want) {
+		g, w := golden.Bytes(), want
+		line, col := 1, 0
+		for i := 0; i < len(g) && i < len(w); i++ {
+			if g[i] != w[i] {
+				break
+			}
+			col++
+			if g[i] == '\n' {
+				line++
+				col = 0
+			}
+		}
+		t.Fatalf("output differs from %s at line %d (got %d bytes, want %d); engine behavior drifted — if intentional, regenerate with -update",
+			path, line, len(g), len(w))
+	}
+}

@@ -103,20 +103,20 @@ func (s *System) NewHealthMonitor(rebuildRate float64, over health.Config) (*hea
 // the device bitmask, the effective per-interval limit (S, or S' when
 // degraded), and whether masking applies at all. One atomic load; zero
 // allocations.
-func (s *System) maskLimit() (bits uint64, limit int, masked bool) {
-	if s.health == nil {
-		return 0, s.s, false
+func (e *engine) maskLimit() (bits uint64, limit int, masked bool) {
+	if e.health == nil {
+		return 0, e.s, false
 	}
-	m := s.health.Mask()
+	m := e.health.Mask()
 	if m.Full() {
-		return m.Bits, s.s, true
+		return m.Bits, e.s, true
 	}
-	return m.Bits, s.degradedS(m.Unavailable()), true
+	return m.Bits, e.degradedS(m.Unavailable()), true
 }
 
 // degradedS prices the guarantee for f unavailable devices.
-func (s *System) degradedS(f int) int {
-	sp := design.SFor(s.alloc.Copies()-f, s.cfg.M)
+func (e *engine) degradedS(f int) int {
+	sp := design.SFor(e.alloc.Copies()-f, e.cfg.M)
 	if sp < 1 {
 		// Unreachable when the monitor's MaxUnavailable guard is c-1;
 		// serve best-effort one-per-interval rather than wedging.
@@ -127,8 +127,8 @@ func (s *System) degradedS(f int) int {
 
 // EffectiveS returns the current admission limit: S(M) with a healthy
 // array, S'(M) when the health mask is degraded.
-func (s *System) EffectiveS() int {
-	_, limit, _ := s.maskLimit()
+func (e *engine) EffectiveS() int {
+	_, limit, _ := e.maskLimit()
 	return limit
 }
 

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// intervalLedger is the per-T-window admission accounting behind the engine
+// (§III: at most S requests retrieved per interval). The engine treats the
+// ledger as the single source of truth for window counts; the frontier hint
+// (advice about windows that can never admit again) is part of the
+// interface so the lock-free implementation keeps overload handling O(1)
+// amortized while the sequential one ignores it entirely.
+//
+// Implementations:
+//
+//   - seqLedger: a plain map for single-caller systems. No atomics, no
+//     frontier; bit-identical to the historical System bookkeeping.
+//   - shardedLedger: sharded per-window atomic counters with CAS
+//     reservation and a monotone frontier hint; the structure behind
+//     ConcurrentSystem since PR 1.
+type intervalLedger interface {
+	// count returns the admitted slots currently recorded for window w. It
+	// must not create state for w (closeWindows walks cold windows).
+	count(w int64) int
+	// tryReserve claims n slots in window w unless that would push the
+	// count past limit (S, or the degraded S' snapshot the caller took).
+	tryReserve(w int64, n, limit int) bool
+	// add claims n slots unconditionally — the statistical controller may
+	// admit past the deterministic limit (§III-B over-admission).
+	add(w int64, n int)
+	// release returns n slots claimed by tryReserve/add (used when the
+	// scheduler could not serve the request at the reserved time).
+	release(w int64, n int)
+	// noteFull records that the window just below next was observed full;
+	// the frontier extends only when it already points at next (a full
+	// window far ahead of the frontier must not starve the windows between).
+	noteFull(next int64)
+	// noteDeadBefore raises the frontier to w outright — callers must
+	// guarantee no request can ever be admitted below w. The one such proof
+	// is device exhaustion (see engine.deadBefore).
+	noteDeadBefore(w int64)
+	// frontier returns the earliest window admission scans may start from.
+	frontier() int64
+	// tracksFrontier reports whether the hint methods do anything; the
+	// engine skips computing dead-window proofs when they don't.
+	tracksFrontier() bool
+	// maxCount returns the largest count recorded for any tracked window
+	// (test hook; after quiescence it must never exceed S).
+	maxCount() int
+	// reset drops all window state.
+	reset()
+}
+
+// seqLedger is the single-caller ledger: a plain window → count map, the
+// exact bookkeeping the sequential System used before the engine split.
+type seqLedger struct {
+	counts map[int64]int
+}
+
+func newSeqLedger() *seqLedger { return &seqLedger{counts: make(map[int64]int)} }
+
+func (l *seqLedger) count(w int64) int { return l.counts[w] }
+
+func (l *seqLedger) tryReserve(w int64, n, limit int) bool {
+	if l.counts[w]+n > limit {
+		return false
+	}
+	l.counts[w] += n
+	return true
+}
+
+func (l *seqLedger) add(w int64, n int)     { l.counts[w] += n }
+func (l *seqLedger) release(w int64, n int) { l.counts[w] -= n }
+func (l *seqLedger) noteFull(int64)         {}
+func (l *seqLedger) noteDeadBefore(int64)   {}
+func (l *seqLedger) frontier() int64        { return 0 }
+func (l *seqLedger) tracksFrontier() bool   { return false }
+
+func (l *seqLedger) maxCount() int {
+	max := 0
+	for _, c := range l.counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func (l *seqLedger) reset() { l.counts = make(map[int64]int) }
+
+const (
+	windowShardBits  = 6
+	windowShardCount = 1 << windowShardBits
+
+	// shardPruneLen bounds per-shard map growth on long-running servers:
+	// once a shard tracks this many windows, counters for windows far below
+	// the admission frontier (full and never revisited, because arrivals
+	// and the hint only move forward) are dropped.
+	shardPruneLen    = 4096
+	shardPruneMargin = 1024
+)
+
+type windowShard struct {
+	mu     sync.Mutex
+	counts map[int64]*atomic.Int32
+}
+
+// shardedLedger is the concurrent ledger: interval-window admission counts
+// live in sharded per-window atomic counters. A request reserves a slot
+// with a CAS loop, so independent submissions — different windows, or free
+// capacity in the same window — proceed in parallel while the per-window
+// count provably never exceeds the limit (the test suite enforces this
+// under -race). A frontier hint remembers the earliest window that was
+// ever observed full, so admission under overload is O(1) amortized
+// instead of scanning full windows one by one.
+type shardedLedger struct {
+	// hint is the earliest window not yet observed full; windows below it
+	// are skipped on the admission fast path. It only advances, and it is
+	// advisory: per-window correctness comes from the CAS reservation, the
+	// hint only short-circuits the scan under sustained overload.
+	hint atomic.Int64
+
+	shards [windowShardCount]windowShard
+}
+
+func newShardedLedger() *shardedLedger { return &shardedLedger{} }
+
+// counter returns the admission counter for window w, creating it if
+// needed. The shard lock is held only for the map access; the counter
+// itself is operated on with atomics.
+func (l *shardedLedger) counter(w int64) *atomic.Int32 {
+	sh := &l.shards[uint64(w)&(windowShardCount-1)]
+	sh.mu.Lock()
+	if sh.counts == nil {
+		sh.counts = make(map[int64]*atomic.Int32)
+	}
+	c, ok := sh.counts[w]
+	if !ok {
+		if len(sh.counts) >= shardPruneLen {
+			floor := l.hint.Load() - shardPruneMargin
+			for k := range sh.counts {
+				if k < floor {
+					delete(sh.counts, k)
+				}
+			}
+		}
+		c = new(atomic.Int32)
+		sh.counts[w] = c
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+func (l *shardedLedger) count(w int64) int {
+	sh := &l.shards[uint64(w)&(windowShardCount-1)]
+	sh.mu.Lock()
+	c := sh.counts[w]
+	sh.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return int(c.Load())
+}
+
+// tryReserve atomically claims n admission slots in window w. During a
+// mask transition concurrent callers may briefly hold different limits;
+// each CAS enforces the limit its caller observed, so the count never
+// exceeds the largest concurrently valid guarantee.
+func (l *shardedLedger) tryReserve(w int64, n, limit int) bool {
+	c := l.counter(w)
+	for {
+		v := c.Load()
+		if v+int32(n) > int32(limit) {
+			return false
+		}
+		if c.CompareAndSwap(v, v+int32(n)) {
+			return true
+		}
+	}
+}
+
+func (l *shardedLedger) add(w int64, n int) { l.counter(w).Add(int32(n)) }
+
+func (l *shardedLedger) release(w int64, n int) { l.counter(w).Add(int32(-n)) }
+
+// noteFull records that the window below next was observed full. The hint
+// is a "no admission possible below" *prefix*, so a full window may only
+// extend it contiguously: a request can observe a full window far ahead
+// of the frontier (its admit time jumps over windows when its replica
+// devices are busy) while the skipped windows still have capacity for
+// other blocks. Advancing past those would starve them, so only a
+// failure at the frontier itself extends it.
+func (l *shardedLedger) noteFull(next int64) {
+	if h := l.hint.Load(); next == h {
+		l.hint.CompareAndSwap(h, next+1)
+	}
+}
+
+// noteDeadBefore raises the hint to w outright — callers must guarantee no
+// request can ever be admitted below w. The one such proof is device
+// exhaustion (see engine.deadBefore): windows whose whole time range has
+// every device busy are dead no matter how many admission slots remain,
+// because both the read path (one idle replica) and the write path (all
+// replicas idle) need a device free inside the window.
+func (l *shardedLedger) noteDeadBefore(w int64) {
+	for {
+		h := l.hint.Load()
+		if w <= h || l.hint.CompareAndSwap(h, w) {
+			return
+		}
+	}
+}
+
+func (l *shardedLedger) frontier() int64      { return l.hint.Load() }
+func (l *shardedLedger) tracksFrontier() bool { return true }
+
+func (l *shardedLedger) maxCount() int {
+	max := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.counts {
+			if v := int(c.Load()); v > max {
+				max = v
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return max
+}
+
+func (l *shardedLedger) reset() {
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.counts = nil
+		sh.mu.Unlock()
+	}
+	l.hint.Store(0)
+}

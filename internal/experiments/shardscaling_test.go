@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestShardScaling asserts the tentpole scaling claim on the
+// deterministic metric: in-guarantee admission throughput more than
+// doubles at 4 shards vs 1 (it should land near 4x — each shard
+// saturates its own S per interval), while no configuration ever exceeds
+// its admission-invariant ceiling.
+func TestShardScaling(t *testing.T) {
+	rows, err := ShardScaling([]int{1, 2, 4}, 50, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.AdmittedInHorizon > r.CapacityBound {
+			t.Errorf("K=%d admitted %d past the invariant ceiling %d", r.Shards, r.AdmittedInHorizon, r.CapacityBound)
+		}
+		// The offered load saturates every configuration, so the admitted
+		// count should sit close to the ceiling — that's what makes it a
+		// capacity measurement rather than a load measurement.
+		if float64(r.AdmittedInHorizon) < 0.9*float64(r.CapacityBound) {
+			t.Errorf("K=%d admitted %d, under 90%% of capacity %d — load not saturating", r.Shards, r.AdmittedInHorizon, r.CapacityBound)
+		}
+	}
+	one, four := rows[0].AdmittedInHorizon, rows[2].AdmittedInHorizon
+	if float64(four) <= 2*float64(one) {
+		t.Errorf("4-shard capacity %d not >2x 1-shard %d", four, one)
+	}
+	two := rows[1].AdmittedInHorizon
+	if float64(two) <= 1.5*float64(one) {
+		t.Errorf("2-shard capacity %d not >1.5x 1-shard %d", two, one)
+	}
+}

@@ -9,22 +9,33 @@ import (
 
 	"flashqos/internal/core"
 	"flashqos/internal/design"
+	"flashqos/internal/shard"
 )
 
 // BenchmarkServerThroughput floods one Server with 8 concurrent pipelined
 // clients and reports aggregate ops/sec. Each client keeps a window of
 // in-flight READ requests on its own connection, so the measurement stresses
 // the server-side request pipeline (admission, scheduling, stats, response
-// formatting) rather than per-request network round trips.
+// formatting) rather than per-request network round trips. Sub-benchmarks
+// vary the shard count: with K shards the scheduler mutex and window
+// ledger split K ways, so contention drops as K grows.
 func BenchmarkServerThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchServerThroughput(b, shards)
+		})
+	}
+}
+
+func benchServerThroughput(b *testing.B, shards int) {
 	const clients = 8
 	const window = 64 // pipelined requests in flight per connection
 
-	sys, err := core.New(core.Config{Design: design.Paper931()})
+	arr, err := shard.New(shards, core.Config{Design: design.Paper931()})
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := NewServer(sys)
+	srv := NewServerSharded(arr, Options{})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -52,6 +52,17 @@
 // deadline, and a maximum request-line length (longer lines are discarded
 // and answered with "ERR line too long"). Shutdown drains in-flight
 // connections for a configurable timeout before force-closing them.
+//
+// # Sharding
+//
+// The server fronts a shard.Array: one or more independent QoS engines
+// with the data-block space hash-partitioned across them (qosd -shards).
+// The protocol is shard-transparent — READ/WRITE route to the owning
+// shard, MAP/FAIL/RECOVER/HEALTH speak global device ids (shard i's local
+// device d is global device i·N + d), STATS aggregates — and METRICS adds
+// a flashqos_shards gauge plus per-shard series labelled {shard="i"}.
+// NewServer wraps a single system as a one-shard array, so a standalone
+// deployment behaves exactly as before.
 package qosnet
 
 import (
@@ -69,6 +80,8 @@ import (
 	"time"
 
 	"flashqos/internal/core"
+	"flashqos/internal/health"
+	"flashqos/internal/shard"
 )
 
 // Default robustness limits (see Options).
@@ -96,19 +109,21 @@ type Options struct {
 	MaxLineBytes int
 }
 
-// Server serves a core.System over TCP. Create with NewServer (or
-// NewServerOpts), then Serve.
+// Server serves a shard.Array — one or more QoS engines with the block
+// space partitioned across them — over TCP. Create with NewServer (single
+// array), NewServerOpts, or NewServerSharded, then Serve.
 type Server struct {
-	sys   *core.ConcurrentSystem
+	arr   *shard.Array
 	start time.Time
 	opts  Options
 
-	lastT    atomic.Uint64 // float64 bits: virtual-clock watermark
-	requests atomic.Int64
-	delayed  atomic.Int64
-	rejected atomic.Int64
-	delaySum atomic.Uint64 // float64 bits, CAS-accumulated
-	busy     atomic.Int64  // connections rejected by the MaxConns cap
+	lastT     atomic.Uint64 // float64 bits: virtual-clock watermark
+	requests  atomic.Int64
+	delayed   atomic.Int64
+	rejected  atomic.Int64
+	delaySum  atomic.Uint64 // float64 bits, CAS-accumulated
+	busy      atomic.Int64  // connections rejected by the MaxConns cap
+	shardReqs []atomic.Int64
 
 	lis      net.Listener
 	closed   chan struct{}
@@ -126,17 +141,29 @@ func NewServer(sys *core.System) *Server {
 	return NewServerOpts(sys, Options{})
 }
 
-// NewServerOpts wraps a QoS system with explicit robustness options.
+// NewServerOpts wraps a QoS system with explicit robustness options. The
+// system is served as a one-shard array.
 func NewServerOpts(sys *core.System, opts Options) *Server {
+	arr, err := shard.FromSystems(sys)
+	if err != nil {
+		panic("qosnet: " + err.Error()) // unreachable: one valid system
+	}
+	return NewServerSharded(arr, opts)
+}
+
+// NewServerSharded serves a pre-built sharded array. The array (and its
+// shards' systems) must not be used concurrently elsewhere.
+func NewServerSharded(arr *shard.Array, opts Options) *Server {
 	if opts.MaxLineBytes <= 0 {
 		opts.MaxLineBytes = DefaultMaxLineBytes
 	}
 	s := &Server{
-		sys:    core.NewConcurrent(sys),
-		start:  time.Now(),
-		opts:   opts,
-		closed: make(chan struct{}),
-		conns:  make(map[net.Conn]struct{}),
+		arr:       arr,
+		start:     time.Now(),
+		opts:      opts,
+		closed:    make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		shardReqs: make([]atomic.Int64, arr.Shards()),
 	}
 	if opts.MaxConns > 0 {
 		s.sem = make(chan struct{}, opts.MaxConns)
@@ -144,9 +171,32 @@ func NewServerOpts(sys *core.System, opts Options) *Server {
 	return s
 }
 
-// System returns the concurrent admission front-end (for inspection and
-// tests).
-func (s *Server) System() *core.ConcurrentSystem { return s.sys }
+// System returns shard 0's concurrent admission front-end (for inspection
+// and tests; identical to the whole served system when unsharded).
+func (s *Server) System() *core.ConcurrentSystem { return s.arr.System(0) }
+
+// Array returns the served sharded array.
+func (s *Server) Array() *shard.Array { return s.arr }
+
+// anyHealth reports whether at least one shard has a health monitor.
+func (s *Server) anyHealth() bool {
+	for i := 0; i < s.arr.Shards(); i++ {
+		if s.arr.Monitor(i) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// monitorFor resolves a global device id to its shard's monitor and local
+// device id (mon is nil when the shard has none or the id is out of range).
+func (s *Server) monitorFor(globalDev int) (mon *health.Monitor, local int) {
+	sh, local, ok := s.arr.DeviceShard(globalDev)
+	if !ok {
+		return nil, 0
+	}
+	return s.arr.Monitor(sh), local
+}
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and returns the
 // bound address.
@@ -164,13 +214,13 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 const healthPumpInterval = 2 * time.Millisecond
 
 // Serve accepts connections until Close/Shutdown. Call after Listen.
-// When the served system has a health monitor attached, Serve also pumps
-// its rebuild scheduler until shutdown.
+// When the served shards have health monitors attached, Serve also pumps
+// their rebuild schedulers until shutdown.
 func (s *Server) Serve() error {
 	if s.lis == nil {
 		return errors.New("qosnet: Serve before Listen")
 	}
-	if mon := s.sys.Health(); mon != nil {
+	if s.anyHealth() {
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
@@ -181,7 +231,11 @@ func (s *Server) Serve() error {
 				case <-s.closed:
 					return
 				case <-tick.C:
-					mon.Step()
+					for i := 0; i < s.arr.Shards(); i++ {
+						if mon := s.arr.Monitor(i); mon != nil {
+							mon.Step()
+						}
+					}
 				}
 			}
 		}()
@@ -352,7 +406,7 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 4096)
 	w := bufio.NewWriter(conn)
 	scratch := make([]byte, 0, 128) // per-connection response buffer
-	mon := s.sys.Health()           // attached before serving; nil when disabled
+	hasHealth := s.anyHealth()      // monitors attach before serving
 	for {
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
@@ -386,11 +440,12 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			var out core.Outcome
 			if strings.ToUpper(fields[0]) == "WRITE" {
-				out = s.sys.SubmitWrite(s.now(), block)
+				out = s.arr.SubmitWrite(s.now(), block)
 			} else {
-				out = s.sys.Submit(s.now(), block)
+				out = s.arr.Submit(s.now(), block)
 			}
 			s.requests.Add(1)
+			s.shardReqs[s.arr.ShardOf(block)].Add(1)
 			if out.Rejected {
 				s.rejected.Add(1)
 			} else if out.Delayed {
@@ -400,10 +455,12 @@ func (s *Server) handle(conn net.Conn) {
 			if out.Rejected {
 				fmt.Fprintln(w, "REJECTED")
 			} else {
-				if mon != nil {
+				if hasHealth {
 					// Feed the latency detector: the simulated array served
 					// the request in Response() ms on this device.
-					mon.ReportSuccess(out.Device, out.Response())
+					if m, local := s.monitorFor(out.Device); m != nil {
+						m.ReportSuccess(local, out.Response())
+					}
 				}
 				scratch = appendOutcome(scratch[:0], out)
 				w.Write(scratch)
@@ -418,13 +475,16 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad block: %v\n", err)
 				break
 			}
-			db := s.sys.DesignBlock(block)
-			reps := s.sys.Replicas(block)
+			i := s.arr.ShardOf(block)
+			sys := s.arr.System(i)
+			db := sys.DesignBlock(block)
+			reps := sys.Replicas(block)
+			base := i * s.arr.DevicesPerShard()
 			scratch = append(scratch[:0], "MAP "...)
 			scratch = strconv.AppendInt(scratch, int64(db), 10)
 			for _, d := range reps {
 				scratch = append(scratch, ' ')
-				scratch = strconv.AppendInt(scratch, int64(d), 10)
+				scratch = strconv.AppendInt(scratch, int64(base+d), 10)
 			}
 			scratch = append(scratch, '\n')
 			w.Write(scratch)
@@ -447,24 +507,57 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(w, "# TYPE flashqos_busy_rejected_total counter\n")
 			fmt.Fprintf(w, "flashqos_busy_rejected_total %d\n", s.busy.Load())
 			fmt.Fprintf(w, "# TYPE flashqos_admission_limit gauge\n")
-			fmt.Fprintf(w, "flashqos_admission_limit %d\n", s.sys.S())
+			fmt.Fprintf(w, "flashqos_admission_limit %d\n", s.arr.S())
 			fmt.Fprintf(w, "# TYPE flashqos_admission_limit_effective gauge\n")
-			fmt.Fprintf(w, "flashqos_admission_limit_effective %d\n", s.sys.EffectiveS())
+			fmt.Fprintf(w, "flashqos_admission_limit_effective %d\n", s.arr.EffectiveS())
 			fmt.Fprintf(w, "# TYPE flashqos_q_estimate gauge\n")
-			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.sys.Q())
-			if mon != nil {
-				m := mon.Mask()
-				pending, done := mon.RebuildProgress()
+			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.arr.Q())
+			fmt.Fprintf(w, "# TYPE flashqos_shards gauge\n")
+			fmt.Fprintf(w, "flashqos_shards %d\n", s.arr.Shards())
+			fmt.Fprintf(w, "# TYPE flashqos_shard_requests_total counter\n")
+			for i := range s.shardReqs {
+				fmt.Fprintf(w, "flashqos_shard_requests_total{shard=\"%d\"} %d\n", i, s.shardReqs[i].Load())
+			}
+			fmt.Fprintf(w, "# TYPE flashqos_shard_admission_limit_effective gauge\n")
+			for i := 0; i < s.arr.Shards(); i++ {
+				fmt.Fprintf(w, "flashqos_shard_admission_limit_effective{shard=\"%d\"} %d\n",
+					i, s.arr.System(i).EffectiveS())
+			}
+			if hasHealth {
+				alive, unavail, pending, transitions := 0, 0, 0, int64(0)
+				var done int64
+				for i := 0; i < s.arr.Shards(); i++ {
+					mon := s.arr.Monitor(i)
+					if mon == nil {
+						alive += s.arr.DevicesPerShard()
+						continue
+					}
+					m := mon.Mask()
+					p, d := mon.RebuildProgress()
+					alive += m.Alive
+					unavail += m.Unavailable()
+					pending += p
+					done += d
+					transitions += mon.Transitions()
+				}
 				fmt.Fprintf(w, "# TYPE flashqos_devices_alive gauge\n")
-				fmt.Fprintf(w, "flashqos_devices_alive %d\n", m.Alive)
+				fmt.Fprintf(w, "flashqos_devices_alive %d\n", alive)
 				fmt.Fprintf(w, "# TYPE flashqos_devices_unavailable gauge\n")
-				fmt.Fprintf(w, "flashqos_devices_unavailable %d\n", m.Unavailable())
+				fmt.Fprintf(w, "flashqos_devices_unavailable %d\n", unavail)
 				fmt.Fprintf(w, "# TYPE flashqos_rebuild_pending gauge\n")
 				fmt.Fprintf(w, "flashqos_rebuild_pending %d\n", pending)
 				fmt.Fprintf(w, "# TYPE flashqos_rebuild_done_total counter\n")
 				fmt.Fprintf(w, "flashqos_rebuild_done_total %d\n", done)
 				fmt.Fprintf(w, "# TYPE flashqos_health_transitions_total counter\n")
-				fmt.Fprintf(w, "flashqos_health_transitions_total %d\n", mon.Transitions())
+				fmt.Fprintf(w, "flashqos_health_transitions_total %d\n", transitions)
+				fmt.Fprintf(w, "# TYPE flashqos_shard_devices_alive gauge\n")
+				for i := 0; i < s.arr.Shards(); i++ {
+					a := s.arr.DevicesPerShard()
+					if mon := s.arr.Monitor(i); mon != nil {
+						a = mon.Mask().Alive
+					}
+					fmt.Fprintf(w, "flashqos_shard_devices_alive{shard=\"%d\"} %d\n", i, a)
+				}
 			}
 			fmt.Fprintln(w)
 		case "FAIL", "RECOVER":
@@ -473,36 +566,57 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "ERR usage: %s <device>\n", verb)
 				break
 			}
-			if mon == nil {
+			if !hasHealth {
 				fmt.Fprintln(w, "ERR no health monitor")
 				break
 			}
 			dev, err := strconv.Atoi(fields[1])
-			if err != nil || dev < 0 || dev >= mon.Devices() {
+			if err != nil || dev < 0 || dev >= s.arr.Devices() {
 				fmt.Fprintf(w, "ERR bad device %q\n", fields[1])
 				break
 			}
+			mon, local := s.monitorFor(dev)
+			if mon == nil {
+				fmt.Fprintf(w, "ERR no health monitor for device %d\n", dev)
+				break
+			}
 			if verb == "FAIL" {
-				err = mon.Fail(dev)
+				err = mon.Fail(local)
 			} else {
-				err = mon.Recover(dev)
+				err = mon.Recover(local)
 			}
 			if err != nil {
 				fmt.Fprintf(w, "ERR %v\n", err)
 				break
 			}
-			fmt.Fprintf(w, "OK %s %d\n", mon.State(dev), s.sys.EffectiveS())
+			fmt.Fprintf(w, "OK %s %d\n", mon.State(local), s.arr.EffectiveS())
 		case "HEALTH":
-			if mon == nil {
+			if !hasHealth {
 				fmt.Fprintln(w, "ERR no health monitor")
 				break
 			}
-			m := mon.Mask()
-			pending, done := mon.RebuildProgress()
+			alive, pending := 0, 0
+			var done int64
+			for i := 0; i < s.arr.Shards(); i++ {
+				mon := s.arr.Monitor(i)
+				if mon == nil {
+					alive += s.arr.DevicesPerShard()
+					continue
+				}
+				alive += mon.Mask().Alive
+				p, d := mon.RebuildProgress()
+				pending += p
+				done += d
+			}
 			fmt.Fprintf(w, "HEALTH devices=%d alive=%d s=%d s_full=%d rebuild_pending=%d rebuild_done=%d\n",
-				m.N, m.Alive, s.sys.EffectiveS(), s.sys.S(), pending, done)
-			for d := 0; d < mon.Devices(); d++ {
-				fmt.Fprintf(w, "DEV %d %s %.6f\n", d, mon.State(d), mon.EWMA(d))
+				s.arr.Devices(), alive, s.arr.EffectiveS(), s.arr.S(), pending, done)
+			for g := 0; g < s.arr.Devices(); g++ {
+				mon, local := s.monitorFor(g)
+				if mon == nil {
+					fmt.Fprintf(w, "DEV %d unmonitored 0.000000\n", g)
+					continue
+				}
+				fmt.Fprintf(w, "DEV %d %s %.6f\n", g, mon.State(local), mon.EWMA(local))
 			}
 			fmt.Fprintln(w)
 		case "QUIT":

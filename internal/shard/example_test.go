@@ -1,0 +1,28 @@
+package shard_test
+
+import (
+	"fmt"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+	"flashqos/internal/shard"
+)
+
+// Example shards the paper's (9,3,1) framework across four independent
+// arrays: 36 devices, 4·S guaranteed admissions per interval, with blocks
+// hash-routed to their owning shard and devices numbered globally.
+func Example() {
+	arr, err := shard.New(4, core.Config{Design: design.Paper931()})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shards=%d devices=%d S=%d\n", arr.Shards(), arr.Devices(), arr.S())
+
+	out := arr.Submit(0, 42)
+	sh, local, _ := arr.DeviceShard(out.Device)
+	fmt.Printf("block 42 -> shard %d (device %d = shard %d local %d), response %.3f ms\n",
+		arr.ShardOf(42), out.Device, sh, local, out.Response())
+	// Output:
+	// shards=4 devices=36 S=20
+	// block 42 -> shard 1 (device 10 = shard 1 local 1), response 0.133 ms
+}

@@ -1,0 +1,271 @@
+// Package shard scales the replication-based QoS framework past a single
+// (N, c, 1) array: an Array hash-partitions the data-block space across K
+// independent QoS engines, each with its own block design, interval
+// ledger, device scheduler, and health tracker. The per-interval guarantee
+// composes additively — every shard still admits at most its own S(M)
+// requests per T-window onto its own N devices, so the aggregate array
+// sustains K·S guaranteed requests per interval with K·N devices, and a
+// device failure degrades only the shard that owns it (the other shards
+// keep the full S).
+//
+// Devices are numbered globally: shard i's local device d is global device
+// i·N + d. Submit outcomes, MAP responses, and health admin verbs all
+// speak global ids; the translation is pure arithmetic, so the submit hot
+// path stays zero-allocation.
+package shard
+
+import (
+	"fmt"
+
+	"flashqos/internal/core"
+	"flashqos/internal/health"
+)
+
+// Array fans one Submit/SubmitWrite/SubmitBatch surface out across K
+// independent concurrent QoS engines. All methods are safe for concurrent
+// use (each shard is a core.ConcurrentSystem).
+type Array struct {
+	systems []*core.ConcurrentSystem
+	mons    []*health.Monitor // non-nil entries after NewHealthMonitors
+	devsPer int
+}
+
+// New builds an Array of k independent engines, each configured from cfg.
+// The shards share the configuration (and so the design, guarantee and
+// sampled table) but no state: every shard owns its ledger, scheduler and
+// mapper.
+func New(k int, cfg core.Config) (*Array, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: need >= 1 shard, got %d", k)
+	}
+	systems := make([]*core.System, k)
+	for i := range systems {
+		sys, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		systems[i] = sys
+	}
+	return FromSystems(systems...)
+}
+
+// FromSystems builds an Array over already-constructed systems, wrapping
+// each for concurrent submission (the systems must not be used directly
+// afterwards; see core.NewConcurrent). All systems must span the same
+// number of devices — the global device numbering depends on it.
+func FromSystems(systems ...*core.System) (*Array, error) {
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("shard: need >= 1 system")
+	}
+	a := &Array{
+		systems: make([]*core.ConcurrentSystem, len(systems)),
+		mons:    make([]*health.Monitor, len(systems)),
+		devsPer: systems[0].Design().N,
+	}
+	for i, sys := range systems {
+		if n := sys.Design().N; n != a.devsPer {
+			return nil, fmt.Errorf("shard: shard %d spans %d devices, shard 0 spans %d", i, n, a.devsPer)
+		}
+		a.systems[i] = core.NewConcurrent(sys)
+		a.mons[i] = sys.Health()
+	}
+	return a, nil
+}
+
+// NewHealthMonitors attaches one device-health monitor per shard (see
+// core.System.NewHealthMonitor): detector thresholds and callbacks come
+// from over, the device count, availability guard, latency baseline and
+// rebuild work lists from each shard's design. Call before serving.
+func (a *Array) NewHealthMonitors(rebuildRate float64, over health.Config) error {
+	for i, cs := range a.systems {
+		mon, err := cs.System().NewHealthMonitor(rebuildRate, over)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		a.mons[i] = mon
+	}
+	return nil
+}
+
+// Shards returns the number of shards K.
+func (a *Array) Shards() int { return len(a.systems) }
+
+// DevicesPerShard returns N, the device count of each shard's design.
+func (a *Array) DevicesPerShard() int { return a.devsPer }
+
+// Devices returns the global device count K·N.
+func (a *Array) Devices() int { return len(a.systems) * a.devsPer }
+
+// System returns shard i's concurrent engine.
+func (a *Array) System(i int) *core.ConcurrentSystem { return a.systems[i] }
+
+// Monitor returns shard i's health monitor (nil when none is attached).
+func (a *Array) Monitor(i int) *health.Monitor { return a.mons[i] }
+
+// HasHealth reports whether every shard has a health monitor attached —
+// the condition for serving global health admin operations.
+func (a *Array) HasHealth() bool {
+	for _, m := range a.mons {
+		if m == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// GlobalDevice translates shard i's local device to its global id.
+func (a *Array) GlobalDevice(shard, local int) int { return shard*a.devsPer + local }
+
+// DeviceShard translates a global device id to (shard, local device).
+func (a *Array) DeviceShard(global int) (shard, local int, ok bool) {
+	if global < 0 || global >= a.Devices() {
+		return 0, 0, false
+	}
+	return global / a.devsPer, global % a.devsPer, true
+}
+
+// splitmix64's finalizer: a full-avalanche multiplicative hash, so block
+// ids that arrive in arithmetic progressions (the common trace shape)
+// still spread uniformly across shards.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardOf returns the shard owning a data block.
+func (a *Array) ShardOf(block int64) int {
+	if len(a.systems) == 1 {
+		return 0
+	}
+	return int(mix(uint64(block)) % uint64(len(a.systems)))
+}
+
+// Submit routes one block read to its owning shard. The outcome's Device
+// is translated to the global numbering. Zero allocations in steady state
+// (the pinned sharded hot path).
+func (a *Array) Submit(arrival float64, block int64) core.Outcome {
+	i := a.ShardOf(block)
+	out := a.systems[i].Submit(arrival, block)
+	if !out.Rejected {
+		out.Device += i * a.devsPer
+	}
+	return out
+}
+
+// SubmitWrite routes one block write to its owning shard.
+func (a *Array) SubmitWrite(arrival float64, block int64) core.Outcome {
+	i := a.ShardOf(block)
+	out := a.systems[i].SubmitWrite(arrival, block)
+	if !out.Rejected {
+		out.Device += i * a.devsPer
+	}
+	return out
+}
+
+// SubmitBatch groups simultaneous requests by owning shard, admits each
+// group jointly (core.System.SubmitBatch semantics per shard), and
+// scatters the outcomes back into input order with global device ids.
+func (a *Array) SubmitBatch(arrival float64, blocks []int64) []core.Outcome {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if len(a.systems) == 1 {
+		return a.systems[0].SubmitBatch(arrival, blocks)
+	}
+	perBlocks := make([][]int64, len(a.systems))
+	perIdx := make([][]int, len(a.systems))
+	for j, b := range blocks {
+		i := a.ShardOf(b)
+		perBlocks[i] = append(perBlocks[i], b)
+		perIdx[i] = append(perIdx[i], j)
+	}
+	out := make([]core.Outcome, len(blocks))
+	for i, bs := range perBlocks {
+		if len(bs) == 0 {
+			continue
+		}
+		for k, o := range a.systems[i].SubmitBatch(arrival, bs) {
+			if !o.Rejected {
+				o.Device += i * a.devsPer
+			}
+			out[perIdx[i][k]] = o
+		}
+	}
+	return out
+}
+
+// S returns the aggregate admission limit: K·S(M) guaranteed requests per
+// interval across the whole array.
+func (a *Array) S() int {
+	s := 0
+	for _, cs := range a.systems {
+		s += cs.S()
+	}
+	return s
+}
+
+// EffectiveS returns the aggregate current limit: each shard contributes
+// S'(M) when degraded, S(M) otherwise — a failure only shrinks the budget
+// of the shard owning the device.
+func (a *Array) EffectiveS() int {
+	s := 0
+	for _, cs := range a.systems {
+		s += cs.EffectiveS()
+	}
+	return s
+}
+
+// IntervalMS returns the QoS interval T (identical across shards).
+func (a *Array) IntervalMS() float64 { return a.systems[0].IntervalMS() }
+
+// Q returns the worst per-shard violation-probability estimate (0 for
+// deterministic systems).
+func (a *Array) Q() float64 {
+	q := 0.0
+	for _, cs := range a.systems {
+		if v := cs.Q(); v > q {
+			q = v
+		}
+	}
+	return q
+}
+
+// ShardStats is one shard's slice of Stats.
+type ShardStats struct {
+	S          int     // full admission limit S(M)
+	EffectiveS int     // current limit (S' when degraded)
+	Alive      int     // devices in service (N when no monitor is attached)
+	Q          float64 // statistical violation estimate
+}
+
+// Stats is an aggregated snapshot across all shards.
+type Stats struct {
+	Shards     int
+	Devices    int
+	S          int // ΣS per interval
+	EffectiveS int // ΣS' per interval
+	Alive      int // devices in service
+	PerShard   []ShardStats
+}
+
+// Stats snapshots per-shard and aggregate admission state.
+func (a *Array) Stats() Stats {
+	st := Stats{
+		Shards:   len(a.systems),
+		Devices:  a.Devices(),
+		PerShard: make([]ShardStats, len(a.systems)),
+	}
+	for i, cs := range a.systems {
+		ss := ShardStats{S: cs.S(), EffectiveS: cs.EffectiveS(), Alive: a.devsPer, Q: cs.Q()}
+		if m := a.mons[i]; m != nil {
+			ss.Alive = m.Mask().Alive
+		}
+		st.S += ss.S
+		st.EffectiveS += ss.EffectiveS
+		st.Alive += ss.Alive
+		st.PerShard[i] = ss
+	}
+	return st
+}
