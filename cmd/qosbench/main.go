@@ -101,6 +101,7 @@ func main() {
 		"closedloop": func(w io.Writer) error { return printClosedLoop(w, *seed) },
 		"sweep":      func(w io.Writer) error { return printSweep(w, *seed, *scale) },
 		"shards":     func(w io.Writer) error { return printShardScaling(w) },
+		"statpar":    func(w io.Writer) error { return printStatParallel(w, *seed, *scale) },
 		"report": func(w io.Writer) error {
 			return experiments.WriteReport(w, experiments.ReportConfig{Seed: *seed, Scale: *scale, Requests: *requests, Trials: *trials, Seeds: *seeds})
 		},
@@ -111,7 +112,7 @@ func main() {
 		"fig8", "fig9", "fig10", "table4", "fig11", "fig12",
 		"guarantees", "schemes", "fim", "maxflow", "designs", "gc", "hetero", "failure",
 		"arraygc", "fairness", "mclock", "confidence", "spatial", "closedloop", "sweep",
-		"shards",
+		"shards", "statpar",
 	}
 
 	var targets []string
@@ -545,6 +546,18 @@ func printShardScaling(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, "in-guarantee admission throughput vs shard count (open-loop overload):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	return nil
+}
+
+func printStatParallel(w io.Writer, seed int64, scale float64) error {
+	rows, err := experiments.ConcurrentStatistical(8, seed, scale, 0.002, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "parallel statistical admission, 8 submitters on a bursty exchange-like trace:")
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %s\n", r)
 	}

@@ -147,28 +147,41 @@ func (s *Statistical) Q() float64 {
 // qWith computes Q with a hypothetical extra interval of size k (k < 0
 // means none).
 func (s *Statistical) qWith(k int) float64 {
-	nt := s.nt
+	return qOver(s.table, s.nk, s.nt, k)
+}
+
+// qOver computes Q over an (nk, nt) interval history with a hypothetical
+// extra interval of size k (k < 0 means none). It is the one Q evaluation
+// shared by the live controller and published Snapshots, so both produce
+// bit-identical floats for the same history — the property the concurrent
+// admission path's golden transcripts rest on.
+func qOver(table *sampling.Table, nk []int64, nt int64, k int) float64 {
 	if k >= 0 {
 		nt++
 	}
 	if nt == 0 {
 		return 0
 	}
+	maxK := table.MaxK()
+	idx := k
+	if idx > maxK {
+		idx = maxK
+	}
 	q := 0.0
-	for i, n := range s.nk {
+	for i, n := range nk {
 		cnt := n
-		if i == s.idx(k) && k >= 0 {
+		if i == idx && k >= 0 {
 			cnt++
 		}
 		if cnt == 0 {
 			continue
 		}
-		q += (1 - s.table.At(i)) * float64(cnt) / float64(nt)
+		q += (1 - table.At(i)) * float64(cnt) / float64(nt)
 	}
 	// A hypothetical size beyond the table still contributes via At's
 	// extrapolation when k exceeds MaxK.
-	if k > s.table.MaxK() {
-		q += (1 - s.table.At(k)) * 1 / float64(nt)
+	if k > maxK {
+		q += (1 - table.At(k)) * 1 / float64(nt)
 	}
 	return q
 }
@@ -240,6 +253,75 @@ func (s *Statistical) RecordInterval(k int) {
 	}
 	s.record(k)
 }
+
+// SetTable installs a refreshed P_k table (e.g. a higher-precision
+// background re-estimate). The interval history is kept; when the new
+// table's MaxK differs, counts beyond the new range fold into the last
+// bucket, matching the idx clamping that would have recorded them there.
+func (s *Statistical) SetTable(table *sampling.Table) error {
+	if table == nil {
+		return fmt.Errorf("admission: nil probability table")
+	}
+	nk := make([]int64, table.MaxK()+1)
+	for k, n := range s.nk {
+		i := k
+		if i > table.MaxK() {
+			i = table.MaxK()
+		}
+		nk[i] += n
+	}
+	s.table = table
+	s.nk = nk
+	return nil
+}
+
+// Snapshot is an immutable copy of a Statistical controller's decision
+// state — the interval histogram N_k, the interval count N_t, and the P_k
+// table in force — safe to share across goroutines without locks. Its Q
+// evaluation runs the same arithmetic as the live controller (qOver), so a
+// Snapshot taken after every history mutation makes lock-free readers
+// bit-identical to serialized ones.
+type Snapshot struct {
+	S       int
+	Epsilon float64
+	table   *sampling.Table
+	nk      []int64
+	nt      int64
+}
+
+// Snapshot copies the controller's current decision state. The caller must
+// serialize it with other controller mutations (the controller itself is
+// not thread-safe); the returned Snapshot is immutable and freely shared.
+func (s *Statistical) Snapshot() *Snapshot {
+	nk := make([]int64, len(s.nk))
+	copy(nk, s.nk)
+	return &Snapshot{S: s.S, Epsilon: s.Epsilon, table: s.table, nk: nk, nt: s.nt}
+}
+
+// Q returns the violation-probability estimate frozen in the snapshot.
+func (sn *Snapshot) Q() float64 { return qOver(sn.table, sn.nk, sn.nt, -1) }
+
+// QWith returns Q including a hypothetical extra interval of size k.
+func (sn *Snapshot) QWith(k int) float64 { return qOver(sn.table, sn.nk, sn.nt, k) }
+
+// WouldAdmit reports whether an interval of size k would be admitted in
+// full against the frozen history: k within S, or Q (including the
+// hypothetical interval) below ε.
+func (sn *Snapshot) WouldAdmit(k int) bool {
+	if k <= sn.S {
+		return true
+	}
+	return sn.QWith(k) < sn.Epsilon
+}
+
+// Intervals returns the number of intervals frozen in the snapshot.
+func (sn *Snapshot) Intervals() int64 { return sn.nt }
+
+// MaxK returns the largest request size with its own P_k entry in the
+// snapshot's table. QWith(k) is constant for all k > MaxK (the hypothetical
+// interval clamps to the last bucket and extrapolates the last P), so
+// WouldAdmit(MaxK+1) decides every size beyond the table at once.
+func (sn *Snapshot) MaxK() int { return sn.table.MaxK() }
 
 // --- Application registry (worked example of Table I) ---
 

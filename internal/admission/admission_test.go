@@ -269,6 +269,120 @@ func TestQuickStatisticalDominatesDeterministic(t *testing.T) {
 	}
 }
 
+// TestSnapshotMatchesLiveExactly drives randomized interval histories and
+// requires every Snapshot observable — Q, QWith, WouldAdmit, Intervals —
+// to equal the live controller's bit-for-bit (==, not within tolerance).
+// This is the exactness contract the concurrent engine's golden
+// transcripts rest on: both sides must evaluate Q through the shared
+// qOver loop over the same counts, so float non-associativity can never
+// make a lock-free reader disagree with a serialized one.
+func TestSnapshotMatchesLiveExactly(t *testing.T) {
+	tb := testTable()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewStatistical(5, rng.Float64()*0.3, tb, Delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 60; step++ {
+			s.RecordInterval(rng.Intn(2 * tb.MaxK())) // sizes past MaxK exercise clamping
+			sn := s.Snapshot()
+			if got, want := sn.Q(), s.Q(); got != want {
+				t.Fatalf("seed %d step %d: snapshot Q %v != live Q %v", seed, step, got, want)
+			}
+			if got, want := sn.Intervals(), s.Intervals(); got != want {
+				t.Fatalf("seed %d step %d: snapshot intervals %d != live %d", seed, step, got, want)
+			}
+			for k := 0; k <= 2*tb.MaxK()+1; k++ {
+				if got, want := sn.QWith(k), s.qWith(k); got != want {
+					t.Fatalf("seed %d step %d: QWith(%d) snapshot %v != live %v", seed, step, k, got, want)
+				}
+				if got, want := sn.WouldAdmit(k), s.WouldAdmit(k); got != want {
+					t.Fatalf("seed %d step %d: WouldAdmit(%d) snapshot %v != live %v", seed, step, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotIsImmutable checks a snapshot keeps reporting the history it
+// froze after the live controller moves on — the property that makes it
+// safe to share across goroutines without locks.
+func TestSnapshotIsImmutable(t *testing.T) {
+	s, _ := NewStatistical(5, 0.1, testTable(), Delay)
+	s.RecordInterval(9)
+	sn := s.Snapshot()
+	q0, n0 := sn.Q(), sn.Intervals()
+	for i := 0; i < 50; i++ {
+		s.RecordInterval(5) // P_5 = 1: dilutes Q, so the live estimate moves
+	}
+	if sn.Q() != q0 || sn.Intervals() != n0 {
+		t.Errorf("snapshot drifted with live controller: Q %v -> %v, intervals %d -> %d",
+			q0, sn.Q(), n0, sn.Intervals())
+	}
+	if s.Q() == q0 {
+		t.Error("live controller should have moved (test is vacuous otherwise)")
+	}
+}
+
+// TestSetTableFoldsTailCounts installs a smaller refreshed table and
+// checks history beyond the new MaxK folds into the last bucket — the
+// same clamping record() would have applied had the small table been in
+// force all along — and that total interval count is conserved.
+func TestSetTableFoldsTailCounts(t *testing.T) {
+	s, _ := NewStatistical(5, 0.1, testTable(), Delay) // MaxK 12
+	for _, k := range []int{3, 7, 10, 11, 12, 12} {
+		s.RecordInterval(k)
+	}
+	small := &sampling.Table{N: 9, P: []float64{1, 1, 1, 1, 1, 1, 0.99, 0.98, 0.9}} // MaxK 8
+	if err := s.SetTable(small); err != nil {
+		t.Fatal(err)
+	}
+	if s.Intervals() != 6 {
+		t.Errorf("intervals = %d, want 6 (conserved across SetTable)", s.Intervals())
+	}
+	if got := s.nk[8]; got != 4 {
+		t.Errorf("last bucket holds %d intervals, want 4 (10,11,12,12 clamp to 8)", got)
+	}
+	if got := s.nk[7]; got != 1 {
+		t.Errorf("nk[7] = %d, want 1 (7 fits the new range untouched)", got)
+	}
+	// Equivalent controller built on the small table from scratch must agree
+	// exactly.
+	ref, _ := NewStatistical(5, 0.1, small, Delay)
+	for _, k := range []int{3, 7, 10, 11, 12, 12} {
+		ref.RecordInterval(k)
+	}
+	if s.Q() != ref.Q() {
+		t.Errorf("Q after SetTable %v != Q of fresh controller %v", s.Q(), ref.Q())
+	}
+	if err := s.SetTable(nil); err == nil {
+		t.Error("nil table should fail")
+	}
+}
+
+// TestSetTableGrowsRange checks a larger refreshed table keeps counts in
+// place (no fold needed) and new sizes land in their own buckets.
+func TestSetTableGrowsRange(t *testing.T) {
+	small := &sampling.Table{N: 9, P: []float64{1, 1, 1, 0.9}} // MaxK 3
+	s, _ := NewStatistical(2, 0.1, small, Delay)
+	s.RecordInterval(9) // clamps to 3 under the small table
+	big := testTable()  // MaxK 12
+	if err := s.SetTable(big); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.nk[3]; got != 1 {
+		t.Errorf("pre-refresh clamped count moved: nk[3] = %d, want 1", got)
+	}
+	s.RecordInterval(9)
+	if got := s.nk[9]; got != 1 {
+		t.Errorf("post-refresh size 9 should use its own bucket: nk[9] = %d", got)
+	}
+	if s.Intervals() != 2 {
+		t.Errorf("intervals = %d, want 2", s.Intervals())
+	}
+}
+
 func BenchmarkStatisticalAdmit(b *testing.B) {
 	s, _ := NewStatistical(5, 0.05, testTable(), Delay)
 	for i := 0; i < b.N; i++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"flashqos/internal/health"
 )
@@ -10,7 +11,7 @@ import (
 // System, built for the network layer (internal/qosnet) where many tenant
 // connections submit requests at once.
 //
-// Concurrency model (see also ledger.go and engine.go):
+// Concurrency model (see also ledger.go, statgate.go and engine.go):
 //
 //   - Replica lookup (block → design block → devices) is pure and runs
 //     without any lock. Remap must therefore NOT be called while requests
@@ -26,19 +27,20 @@ import (
 //     it busy must be atomic across devices, so a short mutex guards the
 //     scheduler. Everything else — parsing, replica lookup, window
 //     reservation, response formatting — runs outside it.
-//   - Statistical mode (Epsilon > 0) stays fully serialized: the Q
-//     estimator folds *closed* windows into its interval history in
-//     arrival order, an inherently sequential computation. The serial path
-//     clamps arrivals non-decreasing so concurrent callers cannot violate
-//     the engine's ordering contract.
+//   - Statistical mode (Epsilon > 0) runs concurrently too: admissions
+//     evaluate a published snapshot of the Q bound (one atomic pointer
+//     load), per-window R_k counts accumulate in the same sharded ledger
+//     counters as deterministic mode, and closed windows merge into the
+//     estimator behind a short lock taken once per T-window, not per
+//     request (statGate). Single-threaded the outcomes are bit-identical
+//     to the sequential System — enforced byte-for-byte by the ε > 0
+//     golden transcripts — and under concurrency the snapshot a decision
+//     sees is at most one in-flight merge stale (DESIGN.md §10).
 //
 // The wrapped System must not be used directly while a ConcurrentSystem is
 // serving it.
 type ConcurrentSystem struct {
 	sys *System
-
-	serialMu    sync.Mutex // statistical mode: serializes the engine
-	lastArrival float64    // under serialMu; clamps arrivals non-decreasing
 }
 
 // NewConcurrent wraps a System for concurrent submission, re-plugging its
@@ -78,18 +80,66 @@ func (s *ConcurrentSystem) DesignBlock(dataBlock int64) int {
 }
 
 // Q returns the statistical controller's violation-probability estimate
-// (0 for deterministic systems).
-func (s *ConcurrentSystem) Q() float64 {
+// (0 for deterministic systems). Lock-free: it reads the same published
+// snapshot admissions decide against.
+func (s *ConcurrentSystem) Q() float64 { return s.sys.Q() }
+
+// StatIntervals returns the number of T-windows folded into the
+// statistical estimator so far (0 for deterministic systems).
+func (s *ConcurrentSystem) StatIntervals() int64 {
 	if s.sys.stat == nil {
 		return 0
 	}
-	s.serialMu.Lock()
-	defer s.serialMu.Unlock()
-	return s.sys.Q()
+	return s.sys.stat.intervals()
+}
+
+// RefreshTable re-estimates the statistical controller's sampled P_k table
+// with `trials` Monte-Carlo trials (parallelized across workers, each
+// owning a preallocated maxflow.Solver) and installs it atomically. Safe
+// to call while requests are in flight: admissions keep reading the
+// snapshot they loaded until the refreshed one is published. Errors for
+// deterministic systems.
+func (s *ConcurrentSystem) RefreshTable(trials int, seed int64) error {
+	return s.sys.refreshTable(trials, seed)
+}
+
+// StartTableRefresh launches a background goroutine that re-estimates the
+// P_k table every `every` (seed advances per round so precision compounds
+// rather than repeating one estimate). The returned stop function halts
+// the loop and waits for an in-flight refresh to finish. Errors for
+// deterministic systems; refresh errors after start are silently dropped
+// (the previous table simply stays in force).
+func (s *ConcurrentSystem) StartTableRefresh(every time.Duration, trials int, seed int64) (stop func(), err error) {
+	if s.sys.stat == nil {
+		return nil, s.sys.refreshTable(trials, seed) // returns the "no table" error
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		round := int64(0)
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				round++
+				_ = s.sys.refreshTable(trials, seed+round)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}, nil
 }
 
 // WindowCount reports the admitted count currently recorded for window w
-// (test hook; deterministic mode only).
+// (test hook).
 func (s *ConcurrentSystem) WindowCount(w int64) int { return s.sys.ledger.count(w) }
 
 // Window returns the T-window index of a time (same arithmetic as the
@@ -97,27 +147,25 @@ func (s *ConcurrentSystem) WindowCount(w int64) int { return s.sys.ledger.count(
 func (s *ConcurrentSystem) Window(t float64) int64 { return s.sys.window(t) }
 
 // MaxWindowCount returns the largest admitted count recorded for any
-// tracked window — after quiescence it must never exceed S (test hook).
+// tracked window — after quiescence it must never exceed S in
+// deterministic mode (test hook; statistical mode over-admits by design).
 func (s *ConcurrentSystem) MaxWindowCount() int { return s.sys.ledger.maxCount() }
 
 // Submit runs one block read through concurrent admission control and
 // online retrieval. Unlike System.Submit, arrivals need not be ordered:
 // callers on different goroutines submit with whatever timestamps they
-// observed, and the deterministic path tolerates out-of-order arrivals
-// because window reservation is commutative.
+// observed. The deterministic path tolerates out-of-order arrivals because
+// window reservation is commutative; the statistical path tolerates them
+// because a window merged before a straggler lands simply misses that
+// straggler in its recorded size — the bounded-staleness the estimator
+// already prices in.
 func (s *ConcurrentSystem) Submit(arrival float64, dataBlock int64) Outcome {
-	if s.sys.stat != nil {
-		return s.submitSerial(arrival, dataBlock, false)
-	}
 	return s.sys.submit(arrival, dataBlock)
 }
 
 // SubmitWrite schedules a block write: c admission slots in one window and
 // every replica device idle simultaneously, as in System.SubmitWrite.
 func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome {
-	if s.sys.stat != nil {
-		return s.submitSerial(arrival, dataBlock, true)
-	}
 	return s.sys.submitWrite(arrival, dataBlock)
 }
 
@@ -125,30 +173,5 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 // System.SubmitBatch. The batch path allocates; it is not the lock-free
 // hot path.
 func (s *ConcurrentSystem) SubmitBatch(arrival float64, blocks []int64) []Outcome {
-	if s.sys.stat != nil {
-		s.serialMu.Lock()
-		defer s.serialMu.Unlock()
-		if arrival < s.lastArrival {
-			arrival = s.lastArrival
-		}
-		s.lastArrival = arrival
-		return s.sys.submitBatch(arrival, blocks)
-	}
 	return s.sys.submitBatch(arrival, blocks)
-}
-
-// submitSerial is the statistical-mode path: the Q estimator's interval
-// accounting is order-dependent, so requests take the engine under a lock,
-// with arrivals clamped non-decreasing.
-func (s *ConcurrentSystem) submitSerial(arrival float64, dataBlock int64, write bool) Outcome {
-	s.serialMu.Lock()
-	defer s.serialMu.Unlock()
-	if arrival < s.lastArrival {
-		arrival = s.lastArrival
-	}
-	s.lastArrival = arrival
-	if write {
-		return s.sys.submitWrite(arrival, dataBlock)
-	}
-	return s.sys.submit(arrival, dataBlock)
 }

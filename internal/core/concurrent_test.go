@@ -7,9 +7,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"flashqos/internal/admission"
 	"flashqos/internal/design"
+	"flashqos/internal/sampling"
+	"flashqos/internal/trace"
 )
 
 func newConcurrent(t testing.TB, cfg Config) *ConcurrentSystem {
@@ -226,13 +229,17 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestConcurrentStatisticalSerialized exercises the ε > 0 path, which
-// serializes through the sequential System, from many goroutines — under
-// -race this proves the serial path is actually serialized, including the
-// arrival-clamping that keeps Submit's ordering contract.
-func TestConcurrentStatisticalSerialized(t *testing.T) {
+// TestConcurrentStatisticalStress floods the ε > 0 path — now lock-free
+// admission against a published Q snapshot, with closed windows merged
+// into the estimator behind a short gate lock — from many goroutines.
+// Under -race this is the memory-safety proof for the snapshot/merge
+// protocol; the assertions pin its structural invariants: every request is
+// admitted (Delay policy), Q stays a probability, and after quiescence the
+// estimator has folded every closed window exactly once
+// (nt == lastClosed+1 — a double or dropped merge breaks it).
+func TestConcurrentStatisticalStress(t *testing.T) {
 	cs := newConcurrent(t, Config{Epsilon: 0.05, SampleTrials: 2000})
-	const goroutines, perG = 8, 100
+	const goroutines, perG = 8, 300
 	var clock atomic.Int64
 	var wg sync.WaitGroup
 	var admitted atomic.Int64
@@ -255,6 +262,246 @@ func TestConcurrentStatisticalSerialized(t *testing.T) {
 	}
 	if q := cs.Q(); q < 0 || q > 1 {
 		t.Errorf("Q = %g, want a probability", q)
+	}
+	gate := cs.System().stat
+	last := gate.lastClosed.Load()
+	if nt := gate.intervals(); nt != last+1 {
+		t.Errorf("estimator folded %d intervals, lastClosed=%d: every closed window must merge exactly once", nt, last)
+	}
+	if last < 1 {
+		t.Errorf("lastClosed=%d: the stress run should have closed many windows", last)
+	}
+}
+
+// TestConcurrentStatisticalMergeStress hammers the window-close boundary
+// specifically: many goroutines submit arrivals straddling the same window
+// edges, so merges race with lock-free snapshot readers and with stragglers
+// adding to just-closed windows. Run under -race this is the data-race
+// proof for statGate; the exactly-once fold invariant is re-asserted after
+// the storm, and a concurrent table refresh races against it all to cover
+// the setTable path too.
+func TestConcurrentStatisticalMergeStress(t *testing.T) {
+	cs := newConcurrent(t, Config{Epsilon: 0.05, SampleTrials: 1000})
+	const goroutines = 8
+	const windows = 200
+	T := cs.IntervalMS()
+	var subWg, refWg sync.WaitGroup
+	stopRefresh := make(chan struct{})
+	refWg.Add(1)
+	go func() { // concurrent P_k refreshes while submissions are in flight
+		defer refWg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stopRefresh:
+				return
+			default:
+			}
+			if err := cs.RefreshTable(200, 100+i); err != nil {
+				t.Errorf("RefreshTable: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		subWg.Add(1)
+		go func(g int) {
+			defer subWg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for w := 0; w < windows; w++ {
+				// Arrivals jittered around each window boundary, from every
+				// goroutine at once: some land just before the edge (into the
+				// closing window), some just after (forcing the close).
+				base := float64(w) * T
+				for i := 0; i < 4; i++ {
+					arr := base + (rng.Float64()-0.3)*T*0.5
+					if arr < 0 {
+						arr = 0
+					}
+					out := cs.Submit(arr, int64(rng.Intn(4000)))
+					if out.Rejected {
+						t.Errorf("rejected under Delay policy: %+v", out)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	subWg.Wait()
+	close(stopRefresh)
+	refWg.Wait()
+	gate := cs.System().stat
+	last := gate.lastClosed.Load()
+	if nt := gate.intervals(); nt != last+1 {
+		t.Errorf("estimator folded %d intervals, lastClosed=%d: exactly-once merge violated", nt, last)
+	}
+	if q := cs.Q(); q < 0 || q > 1 {
+		t.Errorf("Q = %g, want a probability", q)
+	}
+}
+
+// TestStatisticalViolationBoundConcurrent reruns the statistical QoS
+// contract test (TestStatisticalViolationBound in core_test.go) with the
+// same trace, table and epsilon, but with 8 goroutines pulling records off
+// a shared index and submitting through the ConcurrentSystem — the
+// lock-free snapshot path, not the old serialized one. The contract must
+// survive the parallelism: the controller's Q stays below epsilon (each
+// over-admission was approved against a snapshot that satisfied the bound,
+// and snapshots lag live state by at most the merges in flight), and the
+// realized per-window violation rate stays the same order of magnitude.
+func TestStatisticalViolationBoundConcurrent(t *testing.T) {
+	tr, err := trace.ExchangeLike(13, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(Config{Design: design.Paper931()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := sampling.Estimate(base.Allocator(), sampling.Options{MaxK: 25, Trials: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.002
+	cs := newConcurrent(t, Config{Epsilon: eps, Table: tab})
+	const goroutines = 8
+	outs := make([]Outcome, len(tr.Records))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(tr.Records)) {
+					return
+				}
+				r := tr.Records[i]
+				outs[i] = cs.Submit(r.Arrival, r.Block)
+			}
+		}()
+	}
+	wg.Wait()
+
+	violWindows := map[int64]bool{}
+	var lastWindow int64
+	for _, out := range outs {
+		w := cs.Window(out.Admitted)
+		if w > lastWindow {
+			lastWindow = w
+		}
+		if out.Response() > service+1e-9 {
+			violWindows[w] = true
+		}
+	}
+	if lastWindow == 0 {
+		t.Fatal("no windows observed")
+	}
+	// The snapshot a decision reads can lag the live estimator by the merges
+	// in flight, so unlike the serial test Q is checked against epsilon plus
+	// that bounded staleness, not against epsilon exactly: with 8 submitters
+	// the overshoot is at most a handful of one-interval increments.
+	if q := cs.Q(); q >= eps*1.5 {
+		t.Errorf("controller Q = %.5f, must stay near epsilon %.3f (bounded staleness)", q, eps)
+	}
+	rate := float64(len(violWindows)) / float64(lastWindow+1)
+	if rate > 0.02 {
+		t.Errorf("realized violation rate %.5f implausibly high for epsilon %.3f", rate, eps)
+	}
+	if len(violWindows) == 0 {
+		t.Error("expected some over-admissions at this epsilon (tradeoff should engage)")
+	}
+	gate := cs.System().stat
+	if nt := gate.intervals(); nt != gate.lastClosed.Load()+1 {
+		t.Errorf("estimator folded %d intervals, lastClosed=%d", nt, gate.lastClosed.Load())
+	}
+}
+
+// certainTable builds a P_k table that declares every request size
+// optimally retrievable with certainty, so QWith is 0 for every k and the
+// statistical controller over-admits forever. Tests use it to hold the
+// fast path in one window without the window-close or delay machinery
+// engaging.
+func certainTable(n, maxK int) *sampling.Table {
+	p := make([]float64, maxK+1)
+	for i := range p {
+		p[i] = 1
+	}
+	return &sampling.Table{N: n, Trials: 1, P: p}
+}
+
+// TestConcurrentStatisticalZeroAllocFastPath pins the statistical admit
+// fast path at zero heap allocations per request: window-close check
+// (one atomic load), snapshot bound check (one atomic pointer load + the
+// nk scan), sharded-counter reservation, and scheduler submit must all run
+// allocation-free. A regression here (a snapshot copy per request, a
+// boxed interface, a map insert on the hot path) fails the pin.
+func TestConcurrentStatisticalZeroAllocFastPath(t *testing.T) {
+	cs := newConcurrent(t, Config{Epsilon: 0.5, Table: certainTable(9, 25)})
+	// Warm up: allocate window 0's counter shard entry and fill past S so
+	// every measured submit takes the statistical (over-admission) branch.
+	for i := 0; i < 2*cs.S(); i++ {
+		cs.Submit(0, int64(i%64))
+	}
+	var i int64
+	allocs := testing.AllocsPerRun(500, func() {
+		out := cs.Submit(0, i%64)
+		i++
+		if out.Rejected {
+			t.Fatal("unexpected rejection on the Delay fast path")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("statistical admit fast path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRefreshTableLifecycle covers the background P_k refresh plumbing:
+// refreshing a live statistical system keeps Q a probability and the fold
+// invariant intact, deterministic systems refuse refreshes, and the
+// ticker-driven StartTableRefresh loop starts, refreshes and stops cleanly
+// (stop is idempotent and waits out in-flight refreshes).
+func TestRefreshTableLifecycle(t *testing.T) {
+	det := newConcurrent(t, Config{})
+	if err := det.RefreshTable(100, 1); err == nil {
+		t.Error("RefreshTable on a deterministic system should error")
+	}
+	if _, err := det.StartTableRefresh(time.Millisecond, 100, 1); err == nil {
+		t.Error("StartTableRefresh on a deterministic system should error")
+	}
+
+	cs := newConcurrent(t, Config{Epsilon: 0.05, SampleTrials: 500})
+	for i := 0; i < 200; i++ {
+		cs.Submit(float64(i)*0.01, int64(i%64))
+	}
+	qBefore := cs.Q()
+	if err := cs.RefreshTable(4000, 99); err != nil {
+		t.Fatal(err)
+	}
+	if q := cs.Q(); q < 0 || q > 1 {
+		t.Errorf("Q after refresh = %g, want a probability", q)
+	} else if q == qBefore && qBefore != 0 {
+		// Not an invariant, just a sanity expectation: an 8× trial count with
+		// a different seed should move the estimate at least in the last bits.
+		t.Logf("Q unchanged across refresh (%g); table likely converged", q)
+	}
+	gate := cs.System().stat
+	if nt := gate.intervals(); nt != gate.lastClosed.Load()+1 {
+		t.Errorf("fold invariant broken by refresh: nt=%d lastClosed=%d", nt, gate.lastClosed.Load())
+	}
+
+	stop, err := cs.StartTableRefresh(time.Millisecond, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let a few ticks fire
+	for i := 0; i < 200; i++ {
+		cs.Submit(float64(200+i)*0.01, int64(i%64)) // submits race the refresher
+	}
+	stop()
+	stop() // idempotent
+	if q := cs.Q(); q < 0 || q > 1 {
+		t.Errorf("Q after background refreshes = %g, want a probability", q)
 	}
 }
 
@@ -306,6 +553,25 @@ func TestWindowShardPruning(t *testing.T) {
 
 func BenchmarkConcurrentSubmit(b *testing.B) {
 	cs := newConcurrent(b, Config{})
+	var clock atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			arrival := float64(clock.Add(1)) * 0.005
+			cs.Submit(arrival, i)
+			i++
+		}
+	})
+}
+
+// BenchmarkConcurrentStatistical measures the parallel ε > 0 admission
+// path under the same offered load shape as BenchmarkConcurrentSubmit, so
+// the two are directly comparable: the acceptance bar for the statistical
+// parallelization is staying within 2× of the deterministic path's
+// throughput (the old implementation serialized every ε > 0 submit behind
+// a global mutex).
+func BenchmarkConcurrentStatistical(b *testing.B) {
+	cs := newConcurrent(b, Config{Epsilon: 0.05, SampleTrials: 2000})
 	var clock atomic.Int64
 	b.RunParallel(func(pb *testing.PB) {
 		i := int64(0)

@@ -230,14 +230,16 @@ func (s *System) Q() float64 {
 	if s.stat == nil {
 		return 0
 	}
-	return s.stat.Q()
+	return s.stat.q()
 }
 
 // Reset clears all scheduling and admission state (the mapper is kept).
 func (s *System) Reset() {
 	s.sched.Reset()
 	s.ledger.reset()
-	s.lastClosed = -1
+	if s.stat != nil {
+		s.stat.resetWindows()
+	}
 }
 
 // --- Trace replay ---

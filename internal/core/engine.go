@@ -34,15 +34,13 @@ type engine struct {
 	alloc  *decluster.DesignTheoretic
 	mapper *blockmap.Mapper
 	sched  *retrieval.Online
-	stat   *admission.Statistical // nil for deterministic
-	s      int                    // admission limit S(M)
-	health *health.Monitor        // nil unless AttachHealth was called
+	stat   *statGate       // nil for deterministic (see statgate.go)
+	s      int             // admission limit S(M)
+	health *health.Monitor // nil unless AttachHealth was called
 
 	ledger  intervalLedger
 	schedMu sync.Locker // guards sched; noLock for single-caller systems
 	hinted  bool        // ledger tracks a frontier and stat == nil
-
-	lastClosed int64 // most recent window folded into stat counters
 }
 
 // noLock is the no-op Locker the sequential facade plugs in: the zero-size
@@ -80,14 +78,13 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := &engine{
-		cfg:        cfg,
-		alloc:      alloc,
-		mapper:     mapper,
-		sched:      retrieval.NewOnline(d.N, cfg.ServiceMS),
-		s:          d.S(cfg.M),
-		ledger:     newSeqLedger(),
-		schedMu:    noLock{},
-		lastClosed: -1,
+		cfg:     cfg,
+		alloc:   alloc,
+		mapper:  mapper,
+		sched:   retrieval.NewOnline(d.N, cfg.ServiceMS),
+		s:       d.S(cfg.M),
+		ledger:  newSeqLedger(),
+		schedMu: noLock{},
 	}
 	if cfg.Epsilon > 0 {
 		tab := cfg.Table
@@ -101,12 +98,34 @@ func newEngine(cfg Config) (*engine, error) {
 				return nil, fmt.Errorf("core: %w", err)
 			}
 		}
-		e.stat, err = admission.NewStatistical(e.s, cfg.Epsilon, tab, cfg.Policy)
+		stat, err := admission.NewStatistical(e.s, cfg.Epsilon, tab, cfg.Policy)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
+		e.stat = newStatGate(stat)
 	}
 	return e, nil
+}
+
+// refreshTable re-estimates the sampled P_k table — sampling.Estimate
+// shards the Monte-Carlo trials across worker goroutines, each owning one
+// preallocated maxflow.Solver — and installs the result atomically: the
+// gate republishes its snapshot, so in-flight admissions keep the table
+// they loaded and later ones see the refreshed bound. Deterministic
+// systems have no table to refresh.
+func (e *engine) refreshTable(trials int, seed int64) error {
+	if e.stat == nil {
+		return fmt.Errorf("core: deterministic system has no sampled table")
+	}
+	tab, err := sampling.Estimate(e.alloc, sampling.Options{
+		MaxK:   2*e.alloc.Devices() + e.s,
+		Trials: trials,
+		Seed:   seed,
+	})
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return e.stat.setTable(tab)
 }
 
 // Replicas returns the devices storing a data block's copies, going through
@@ -129,34 +148,36 @@ func (e *engine) window(t float64) int64 {
 // windows; times span < 1e9 windows, where float64 error is << 1e-6).
 const windowEps = 1e-6
 
-// closeWindows folds all windows before w into the statistical counters.
-// Only the statistical path calls it: the Q estimator is the sole consumer
-// of closed-window counts, and skipping the bookkeeping in deterministic
-// mode keeps concurrent submissions free of shared non-atomic state.
-func (e *engine) closeWindows(w int64) {
-	for i := e.lastClosed + 1; i < w; i++ {
-		e.stat.RecordInterval(e.ledger.count(i))
-	}
-	if w-1 > e.lastClosed {
-		e.lastClosed = w - 1
-	}
-}
-
 // startFrom applies the frontier hint: admission scanning can begin at the
-// hint window when it is ahead of the arrival. Only the deterministic
-// Delay policy uses the hint — it skips windows where admission is
-// provably impossible, and under Delay the scan provably converges to the
-// same admit time either way. Under Reject the outcome depends on which
-// window the scan samples first (a full window rejects immediately), so
-// the scan must start at the arrival exactly like the hintless path; it is
-// O(1) there anyway, because no branch of the Reject scan walks windows.
-// Statistical mode may admit into windows past their deterministic limit,
-// which voids the "provably impossible" premise, so it never uses hints.
+// hint window when it is ahead of the arrival. Only the Delay policy uses
+// hints — they skip windows where admission is provably impossible, and
+// under Delay the scan provably converges to the same admit time either
+// way. Under Reject the outcome depends on which window the scan samples
+// first (a full window rejects immediately), so the scan must start at the
+// arrival exactly like the hintless path; it is O(1) there anyway, because
+// no branch of the Reject scan walks windows.
+//
+// Deterministic mode uses the ledger frontier ("full at the limit" is
+// final). Statistical mode may admit past the deterministic limit, which
+// voids that premise, so it keeps its own frontier in the gate: windows
+// full at the limit AND refused by the published Q snapshot
+// (statGate.noteDead), where refusal is final per window. Both frontiers
+// serve writes too — a window that cannot take one more read cannot take a
+// c-slot write either.
 func (e *engine) startFrom(arrival float64) float64 {
-	if !e.hinted || e.cfg.Policy == admission.Reject {
+	if e.cfg.Policy == admission.Reject {
 		return arrival
 	}
-	if h := e.ledger.frontier(); h > e.window(arrival) {
+	var h int64
+	switch {
+	case e.hinted:
+		h = e.ledger.frontier()
+	case e.stat != nil:
+		h = e.stat.frontier()
+	default:
+		return arrival
+	}
+	if h > e.window(arrival) {
 		if t := float64(h) * e.cfg.IntervalMS; t > arrival {
 			return t
 		}
@@ -185,7 +206,7 @@ func (e *engine) deadBefore() int64 {
 func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 	replicas := e.Replicas(dataBlock)
 	if e.stat != nil {
-		e.closeWindows(e.window(arrival))
+		e.stat.closeUpTo(e.window(arrival), e.ledger)
 	}
 	// One availability snapshot per request: a FAIL/RECOVER racing with
 	// this submission lands on either side of the snapshot, never halfway.
@@ -198,11 +219,17 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 		w := e.window(tAdm)
 		if !e.ledger.tryReserve(w, 1, limit) {
 			// Window w is full under the snapshot limit.
-			if e.stat != nil && e.stat.WouldAdmit(e.ledger.count(w)+1) {
-				// Statistical path: admit past the deterministic limit; the
-				// request may queue behind busy replicas (§III-B).
-				e.ledger.add(w, 1)
-				return e.schedule(arrival, tAdm, replicas, mask, masked, false)
+			if e.stat != nil {
+				if cnt := e.ledger.count(w); e.stat.wouldAdmit(cnt + 1) {
+					// Statistical path: admit past the deterministic limit;
+					// the request may queue behind busy replicas (§III-B).
+					e.ledger.add(w, 1)
+					return e.schedule(arrival, tAdm, replicas, mask, masked, false)
+				} else if e.cfg.Policy != admission.Reject {
+					// Full and refused by the published snapshot: closed
+					// for good, later scans skip it (statGate).
+					e.stat.noteDead(w)
+				}
 			}
 			if e.cfg.Policy == admission.Reject {
 				return Outcome{Rejected: true, Admitted: arrival}
@@ -231,7 +258,7 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 			e.schedMu.Unlock()
 			return out
 		}
-		if e.stat != nil && e.stat.WouldAdmit(e.ledger.count(w)) {
+		if e.stat != nil && e.stat.wouldAdmit(e.ledger.count(w)) {
 			// Statistical path with the reservation kept: every replica is
 			// busy, but the estimator accepts the risk and the request
 			// queues. count(w) already includes this request's slot.
@@ -301,7 +328,7 @@ func (e *engine) scheduleLocked(arrival, tAdm float64, replicas []int, mask uint
 func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 	replicas := e.Replicas(dataBlock)
 	if e.stat != nil {
-		e.closeWindows(e.window(arrival))
+		e.stat.closeUpTo(e.window(arrival), e.ledger)
 	}
 	mask, limit, masked := e.maskLimit()
 	c := len(replicas)
@@ -383,7 +410,7 @@ func (e *engine) submitBatch(arrival float64, blocks []int64) []Outcome {
 		return nil
 	}
 	if e.stat != nil {
-		e.closeWindows(e.window(arrival))
+		e.stat.closeUpTo(e.window(arrival), e.ledger)
 	}
 	mask, limit, masked := e.maskLimit()
 	w := e.window(arrival)

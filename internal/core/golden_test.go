@@ -13,6 +13,7 @@ import (
 	"flashqos/internal/admission"
 	"flashqos/internal/design"
 	"flashqos/internal/health"
+	"flashqos/internal/sampling"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
@@ -123,23 +124,28 @@ func TestGoldenSeed42(t *testing.T) {
 		golden.Write(conc.Bytes())
 	}
 
-	path := filepath.Join("testdata", "golden_seed42.txt")
+	compareGolden(t, filepath.Join("testdata", "golden_seed42.txt"), golden.Bytes())
+}
+
+// compareGolden checks (or, with -update, rewrites) a committed transcript.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, golden.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d bytes)", path, golden.Len())
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
 		return
 	}
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (regenerate with -update): %v", err)
 	}
-	if !bytes.Equal(golden.Bytes(), want) {
-		g, w := golden.Bytes(), want
+	if !bytes.Equal(got, want) {
+		g, w := got, want
 		line, col := 1, 0
 		for i := 0; i < len(g) && i < len(w); i++ {
 			if g[i] != w[i] {
@@ -154,4 +160,92 @@ func TestGoldenSeed42(t *testing.T) {
 		t.Fatalf("output differs from %s at line %d (got %d bytes, want %d); engine behavior drifted — if intentional, regenerate with -update",
 			path, line, len(g), len(w))
 	}
+}
+
+// goldenStatTable samples the P_k table for the statistical goldens with
+// every degree of freedom pinned — seed, trial count, AND worker count
+// (trials are sharded worker-round-robin with per-worker RNG streams, so
+// the result depends on Workers; per-k counts are summed as int64, so it
+// does not depend on scheduling).
+func goldenStatTable(t *testing.T) *sampling.Table {
+	t.Helper()
+	base, err := New(Config{Design: design.Paper931()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := sampling.Estimate(base.Allocator(), sampling.Options{
+		MaxK: 25, Trials: 4000, Seed: 3, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// goldenStatSystem builds one ε > 0 variant over the pinned table.
+func goldenStatSystem(t *testing.T, policy admission.Policy, epsilon float64, tab *sampling.Table, concurrent bool) submitter {
+	t.Helper()
+	sys, err := New(Config{Design: design.Paper931(), Policy: policy, Epsilon: epsilon, Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concurrent {
+		return NewConcurrent(sys)
+	}
+	return sys
+}
+
+// qOf reads the violation-probability estimate off either facade.
+func qOf(sub submitter) float64 {
+	switch s := sub.(type) {
+	case *System:
+		return s.Q()
+	case *ConcurrentSystem:
+		return s.Q()
+	}
+	panic("unknown submitter")
+}
+
+// TestGoldenStatSeed42 locks the statistical (ε > 0) engine to a committed
+// byte-for-byte transcript, exactly as TestGoldenSeed42 does for the
+// deterministic one: the seed-42 workload through the sequential facade
+// (the historical serial path) and the concurrent facade single-threaded,
+// at a tight and a loose ε under both policies, over a fully pinned P_k
+// table. Each section ends with the controller's final Q, so the estimator
+// itself is pinned too. The serial and concurrent sections must match each
+// other byte-for-byte — the correctness headline of the statistical
+// parallelization: the snapshot/merge protocol is a parallelization of the
+// serial estimator, not a different policy. Regenerate deliberately with
+// -update.
+func TestGoldenStatSeed42(t *testing.T) {
+	reqs := goldenWorkload()
+	tab := goldenStatTable(t)
+	variants := []struct {
+		policy  admission.Policy
+		epsilon float64
+		name    string
+	}{
+		{admission.Delay, 0.002, "delay/eps=0.002"},
+		{admission.Delay, 0.05, "delay/eps=0.05"},
+		{admission.Reject, 0.002, "reject/eps=0.002"},
+		{admission.Reject, 0.05, "reject/eps=0.05"},
+	}
+	var golden bytes.Buffer
+	for _, v := range variants {
+		var seq, conc bytes.Buffer
+		seqSys := goldenStatSystem(t, v.policy, v.epsilon, tab, false)
+		concSys := goldenStatSystem(t, v.policy, v.epsilon, tab, true)
+		goldenRun(&seq, "sequential/"+v.name, seqSys, reqs)
+		fmt.Fprintf(&seq, "Q=%.12f\n", qOf(seqSys))
+		goldenRun(&conc, "concurrent/"+v.name, concSys, reqs)
+		fmt.Fprintf(&conc, "Q=%.12f\n", qOf(concSys))
+		seqBody := bytes.TrimPrefix(seq.Bytes(), []byte("== sequential/"+v.name+" ==\n"))
+		concBody := bytes.TrimPrefix(conc.Bytes(), []byte("== concurrent/"+v.name+" ==\n"))
+		if !bytes.Equal(seqBody, concBody) {
+			t.Errorf("%s: concurrent statistical facade diverges from the serial path", v.name)
+		}
+		golden.Write(seq.Bytes())
+		golden.Write(conc.Bytes())
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_stat_seed42.txt"), golden.Bytes())
 }

@@ -40,6 +40,12 @@ type intervalLedger interface {
 	// guarantee no request can ever be admitted below w. The one such proof
 	// is device exhaustion (see engine.deadBefore).
 	noteDeadBefore(w int64)
+	// notePrunable tells the ledger that windows strictly below w will
+	// never be read again (the statistical gate folded them into the
+	// interval history), so their counters may be reclaimed. Advisory, like
+	// the hint: implementations keep a safety margin below the floor so
+	// concurrently in-flight stragglers still see their counts.
+	notePrunable(w int64)
 	// frontier returns the earliest window admission scans may start from.
 	frontier() int64
 	// tracksFrontier reports whether the hint methods do anything; the
@@ -74,6 +80,7 @@ func (l *seqLedger) add(w int64, n int)     { l.counts[w] += n }
 func (l *seqLedger) release(w int64, n int) { l.counts[w] -= n }
 func (l *seqLedger) noteFull(int64)         {}
 func (l *seqLedger) noteDeadBefore(int64)   {}
+func (l *seqLedger) notePrunable(int64)     {}
 func (l *seqLedger) frontier() int64        { return 0 }
 func (l *seqLedger) tracksFrontier() bool   { return false }
 
@@ -95,8 +102,9 @@ const (
 
 	// shardPruneLen bounds per-shard map growth on long-running servers:
 	// once a shard tracks this many windows, counters for windows far below
-	// the admission frontier (full and never revisited, because arrivals
-	// and the hint only move forward) are dropped.
+	// the reclaim floor — the admission frontier in deterministic mode, the
+	// statistical gate's fold progress in ε > 0 mode (notePrunable); both
+	// only move forward — are dropped.
 	shardPruneLen    = 4096
 	shardPruneMargin = 1024
 )
@@ -121,6 +129,14 @@ type shardedLedger struct {
 	// hint only short-circuits the scan under sustained overload.
 	hint atomic.Int64
 
+	// prunable is the statistical gate's fold progress (notePrunable):
+	// windows below it were merged into the interval history and are never
+	// read again. It feeds the same reclaim floor as the hint — in ε > 0
+	// mode the hint stays 0 (statistical admission keeps its own frontier
+	// in the gate), so without this floor the shard maps would grow with
+	// the run and every prune scan would walk them in vain.
+	prunable atomic.Int64
+
 	shards [windowShardCount]windowShard
 }
 
@@ -138,7 +154,11 @@ func (l *shardedLedger) counter(w int64) *atomic.Int32 {
 	c, ok := sh.counts[w]
 	if !ok {
 		if len(sh.counts) >= shardPruneLen {
-			floor := l.hint.Load() - shardPruneMargin
+			floor := l.hint.Load()
+			if p := l.prunable.Load(); p > floor {
+				floor = p
+			}
+			floor -= shardPruneMargin
 			for k := range sh.counts {
 				if k < floor {
 					delete(sh.counts, k)
@@ -212,6 +232,18 @@ func (l *shardedLedger) noteDeadBefore(w int64) {
 	}
 }
 
+// notePrunable raises the reclaim floor: windows below w were folded into
+// the statistical interval history and will never be read again. CAS-max so
+// racing merges cannot move it backwards.
+func (l *shardedLedger) notePrunable(w int64) {
+	for {
+		cur := l.prunable.Load()
+		if w <= cur || l.prunable.CompareAndSwap(cur, w) {
+			return
+		}
+	}
+}
+
 func (l *shardedLedger) frontier() int64      { return l.hint.Load() }
 func (l *shardedLedger) tracksFrontier() bool { return true }
 
@@ -238,4 +270,5 @@ func (l *shardedLedger) reset() {
 		sh.mu.Unlock()
 	}
 	l.hint.Store(0)
+	l.prunable.Store(0)
 }

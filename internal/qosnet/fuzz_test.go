@@ -10,6 +10,7 @@ import (
 	"flashqos/internal/core"
 	"flashqos/internal/design"
 	"flashqos/internal/health"
+	"flashqos/internal/sampling"
 )
 
 // validResponseLine reports whether a server output line is one the
@@ -106,5 +107,132 @@ func FuzzHandle(f *testing.F) {
 		}
 		client.Close()
 		<-respDone
+	})
+}
+
+// statFuzzTable is the P_k table shared by every FuzzHandleStat execution.
+// The Monte-Carlo estimate is deterministic (fixed seed/trials/workers) and
+// costs real CPU, so it runs once at process start instead of per input.
+var statFuzzTable = func() *sampling.Table {
+	base, err := core.New(core.Config{Design: design.Paper931()})
+	if err != nil {
+		panic(err)
+	}
+	tab, err := sampling.Estimate(base.Allocator(), sampling.Options{MaxK: 25, Trials: 500, Seed: 3, Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	return tab
+}()
+
+// FuzzHandleStat is FuzzHandle against a statistical (ε > 0) server: the
+// same no-panic/documented-response contract, but every READ/WRITE now runs
+// the lock-free snapshot admission path, window merges fold into the
+// estimator mid-connection, and METRICS renders the live Q gauges. The
+// seeds aim at that machinery — bursts that overflow S into over-admission,
+// METRICS interleaved with load, admin verbs flipping S' under a
+// statistical controller.
+func FuzzHandleStat(f *testing.F) {
+	seeds := []string{
+		"READ 42\nMETRICS\n",
+		strings.Repeat("READ 7\n", 12) + "METRICS\n", // past S: over-admission path
+		"WRITE 1\nWRITE 2\nWRITE 3\nMETRICS\n",
+		"READ 1\nSTATS\nREAD 2\nMETRICS\nSTATS\n",
+		"FAIL 0\nREAD 5\nMETRICS\nRECOVER 0\n", // degraded S' under ε > 0
+		"READ -5\nREAD abc\nMETRICS\n",
+		"METRICS\nMETRICS\nMETRICS\n",
+		"BOGUS\n\x00\xff METRICS\n",
+		"READ " + strings.Repeat("9", 400) + "\nMETRICS\n",
+		"QUIT\nMETRICS\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := core.New(core.Config{Design: design.Paper931(), Epsilon: 0.05, Table: statFuzzTable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.NewHealthMonitor(1000, health.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512})
+		client, server := net.Pipe()
+		defer client.Close()
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handle(server)
+		}()
+		respDone := make(chan struct{})
+		go func() {
+			defer close(respDone)
+			r := bufio.NewReader(client)
+			for {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				line = strings.TrimRight(line, "\r\n")
+				if line == "" {
+					continue // METRICS terminator
+				}
+				if !validResponseLine(line) {
+					t.Errorf("undocumented response line %q", line)
+				}
+			}
+		}()
+
+		client.SetWriteDeadline(time.Now().Add(3 * time.Second))
+		client.Write(data)
+		client.Write([]byte("\nQUIT\n"))
+
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("handler did not terminate")
+		}
+		client.Close()
+		<-respDone
+	})
+}
+
+// FuzzParseShardQ throws arbitrary exposition text at the strict per-shard
+// Q parser: it must never panic, and anything it accepts must be internally
+// consistent — shard-indexed probabilities with no gaps or duplicates.
+func FuzzParseShardQ(f *testing.F) {
+	seeds := []string{
+		"flashqos_shard_q_estimate{shard=\"0\"} 0.001\n",
+		"flashqos_shard_q_estimate{shard=\"0\"} 0\nflashqos_shard_q_estimate{shard=\"1\"} 1\n",
+		"# TYPE flashqos_shard_q_estimate gauge\nflashqos_shard_q_estimate{shard=\"1\"} 0.5\nflashqos_shard_q_estimate{shard=\"0\"} 0.25\n",
+		"flashqos_shard_q_estimate{shard=\"0\"} 0.1\nflashqos_shard_q_estimate{shard=\"0\"} 0.2\n",
+		"flashqos_shard_q_estimate{shard=\"2\"} 0.1\n",
+		"flashqos_shard_q_estimate{shard=\"-1\"} 0.1\n",
+		"flashqos_shard_q_estimate{shard=\"x\"} 0.1\n",
+		"flashqos_shard_q_estimate{shard=\"0\"} NaN\n",
+		"flashqos_shard_q_estimate{shard=\"0\"} 2e308\n",
+		"flashqos_shard_q_estimate{shard=\"0\"} 0.1 trailing\n",
+		"flashqos_shard_q_estimate{shard=\"00000000000000000000\"} 0.1\n",
+		"flashqos_q_estimate 0.5\nflashqos_shards 4\n",
+		"",
+		"\x00\xff{shard=\"0\"}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, metrics string) {
+		qs, err := parseShardQ(metrics)
+		if err != nil {
+			return
+		}
+		if len(qs) == 0 {
+			t.Error("accepted a page with zero shard series")
+		}
+		for i, q := range qs {
+			if q < 0 || q > 1 || q != q {
+				t.Errorf("accepted out-of-range Q[%d] = %g from %q", i, q, metrics)
+			}
+		}
 	})
 }

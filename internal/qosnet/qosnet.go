@@ -39,8 +39,9 @@
 //     and the per-window count never exceeds S. Only the device scheduler
 //     (picking the earliest-finishing replica and marking it busy) sits
 //     behind a short mutex, because device next-free times are one global
-//     resource; see the core.ConcurrentSystem docs for why statistical
-//     mode (ε > 0) additionally serializes admission itself.
+//     resource. Statistical mode (ε > 0) is concurrent too: admissions
+//     check a published Q-bound snapshot lock-free, and closed windows
+//     merge into the estimator once per T-interval (core statGate).
 //   - Server counters (requests/delayed/rejected/delay-sum) and the
 //     virtual clock watermark are lock-free atomics; STATS and METRICS
 //     read them without blocking request handlers.
@@ -512,6 +513,10 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(w, "flashqos_admission_limit_effective %d\n", s.arr.EffectiveS())
 			fmt.Fprintf(w, "# TYPE flashqos_q_estimate gauge\n")
 			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.arr.Q())
+			fmt.Fprintf(w, "# TYPE flashqos_shard_q_estimate gauge\n")
+			for i := 0; i < s.arr.Shards(); i++ {
+				fmt.Fprintf(w, "flashqos_shard_q_estimate{shard=\"%d\"} %.6f\n", i, s.arr.System(i).Q())
+			}
 			fmt.Fprintf(w, "# TYPE flashqos_shards gauge\n")
 			fmt.Fprintf(w, "flashqos_shards %d\n", s.arr.Shards())
 			fmt.Fprintf(w, "# TYPE flashqos_shard_requests_total counter\n")
@@ -769,6 +774,63 @@ func (c *Client) Metrics() (string, error) {
 		}
 		b.WriteString(line)
 	}
+}
+
+// ShardQ fetches the per-shard statistical violation-probability estimates
+// (the flashqos_shard_q_estimate gauge). The slice is indexed by shard;
+// every value is 0 on a deterministic (ε = 0) server. Each shard's gauge
+// reads the same published Q snapshot its admissions decide against, so
+// this is a lock-free observation of live controllers, not a stale cache.
+func (c *Client) ShardQ() ([]float64, error) {
+	metrics, err := c.Metrics()
+	if err != nil {
+		return nil, err
+	}
+	return parseShardQ(metrics)
+}
+
+// parseShardQ extracts flashqos_shard_q_estimate{shard="i"} series from
+// exposition text. Parsed strictly: every series must carry a well-formed
+// shard label and a probability value, shard indices must tile 0..n-1
+// exactly once, and a metrics page with no such series is an error (old
+// server), so callers cannot mistake "not exported" for "Q is zero".
+func parseShardQ(metrics string) ([]float64, error) {
+	const prefix = `flashqos_shard_q_estimate{shard="`
+	byShard := map[int]float64{}
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		quote := strings.Index(rest, `"`)
+		if quote < 0 || !strings.HasPrefix(rest[quote:], `"} `) {
+			return nil, fmt.Errorf("qosnet: bad shard Q series %q", line)
+		}
+		shard, err := strconv.Atoi(rest[:quote])
+		if err != nil || shard < 0 {
+			return nil, fmt.Errorf("qosnet: bad shard index in %q", line)
+		}
+		val := rest[quote+len(`"} `):]
+		q, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || !(q >= 0 && q <= 1) || len(strings.Fields(val)) != 1 { // !(…) also rejects NaN
+			return nil, fmt.Errorf("qosnet: bad shard Q value in %q", line)
+		}
+		if _, dup := byShard[shard]; dup {
+			return nil, fmt.Errorf("qosnet: duplicate shard Q series for shard %d", shard)
+		}
+		byShard[shard] = q
+	}
+	if len(byShard) == 0 {
+		return nil, fmt.Errorf("qosnet: no flashqos_shard_q_estimate series in metrics")
+	}
+	qs := make([]float64, len(byShard))
+	for shard, q := range byShard {
+		if shard >= len(qs) {
+			return nil, fmt.Errorf("qosnet: shard Q indices not contiguous (saw shard %d among %d series)", shard, len(byShard))
+		}
+		qs[shard] = q
+	}
+	return qs, nil
 }
 
 // Stats fetches server counters. The response is parsed strictly: exactly
