@@ -48,6 +48,7 @@ func main() {
 		epsilon = flag.Float64("epsilon", 0, "statistical QoS threshold (0 = deterministic)")
 		table   = flag.String("table", "", "cached probability table (from qostable) for statistical QoS")
 
+		proto        = flag.String("proto", "both", "accepted wire protocols: text, binary, or both (auto-detect per connection)")
 		maxConns     = flag.Int("max-conns", 256, "max concurrent connections (0 = unlimited); excess get ERR server busy")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-line read deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain before force-closing connections")
@@ -86,10 +87,22 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var protoMode qosnet.Proto
+	switch *proto {
+	case "both":
+		protoMode = qosnet.ProtoBoth
+	case "text":
+		protoMode = qosnet.ProtoText
+	case "binary":
+		protoMode = qosnet.ProtoBinary
+	default:
+		log.Fatalf("qosd: bad -proto %q (want text, binary, or both)", *proto)
+	}
 	srv := qosnet.NewServerSharded(arr, qosnet.Options{
 		MaxConns:     *maxConns,
 		ReadTimeout:  *readTimeout,
 		MaxLineBytes: *maxLine,
+		Proto:        protoMode,
 	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -100,8 +113,8 @@ func main() {
 		healthMode = fmt.Sprintf("on (suspect-after=%d fail-after=%d rebuild-rate=%g/s)",
 			*suspectAfter, *failAfter, *rebuildRate)
 	}
-	fmt.Printf("qosd: (%d,%d,1) design, M=%d, shards=%d, devices=%d, S=%d, epsilon=%g, health %s, listening on %s\n",
-		*n, *c, *m, arr.Shards(), arr.Devices(), arr.S(), *epsilon, healthMode, bound)
+	fmt.Printf("qosd: (%d,%d,1) design, M=%d, shards=%d, devices=%d, S=%d, epsilon=%g, health %s, proto %s, listening on %s\n",
+		*n, *c, *m, arr.Shards(), arr.Devices(), arr.S(), *epsilon, healthMode, *proto, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,0 +1,88 @@
+// Command qosproxy is a stateless binary-protocol router in front of K
+// independent qosd backends (see internal/proxy). Blocks are
+// hash-partitioned across the backends with the shard layer's splitmix64
+// rule, device ids are globalized, and the aggregate guaranteed admission
+// capacity scales to the sum of the backends' S per interval.
+//
+// Usage:
+//
+//	qosd -addr 127.0.0.1:7331 -proto binary &
+//	qosd -addr 127.0.0.1:7332 -proto binary &
+//	qosproxy -listen 127.0.0.1:7330 -backends 127.0.0.1:7331,127.0.0.1:7332
+//
+// Clients speak the framed binary protocol (internal/wire) to the proxy
+// exactly as they would to a single qosd: READ/WRITE/BATCH route by block,
+// MAP/FAIL/RECOVER route by global device id, STATS/HEALTH/SHARDSTATS
+// aggregate across backends, and METRICS reports the proxy's own gauges.
+// Backends must run with a health monitor (qosd's default) — the proxy
+// learns the device topology from a HEALTH probe at startup.
+//
+// A prober ejects backends after -eject-after consecutive failed health
+// probes; their blocks answer error frames until a probe succeeds again.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"flashqos/internal/proxy"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:7330", "client-facing listen address")
+		backends      = flag.String("backends", "", "comma-separated qosd backend addresses (required)")
+		pool          = flag.Int("pool", proxy.DefaultPoolSize, "pooled binary connections per backend")
+		probeInterval = flag.Duration("probe-interval", proxy.DefaultProbeInterval, "backend health-probe period (negative = no probing)")
+		ejectAfter    = flag.Int("eject-after", proxy.DefaultEjectAfter, "consecutive probe failures before a backend is ejected")
+		readTimeout   = flag.Duration("read-timeout", 5*time.Minute, "per-frame client read deadline (0 = none)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*backends, ",")
+	n := 0
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs[n] = a
+			n++
+		}
+	}
+	addrs = addrs[:n]
+	if len(addrs) == 0 {
+		log.Fatal("qosproxy: -backends is required (comma-separated qosd addresses)")
+	}
+
+	p, err := proxy.New(addrs, proxy.Options{
+		PoolSize:      *pool,
+		ProbeInterval: *probeInterval,
+		EjectAfter:    *ejectAfter,
+		ReadTimeout:   *readTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := p.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qosproxy: %d backends, devices=%d, pool=%d, probe-interval=%s, eject-after=%d, listening on %s\n",
+		p.Backends(), p.Devices(), *pool, *probeInterval, *ejectAfter, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("qosproxy: shutting down")
+		p.Close()
+	}()
+	if err := p.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	p.Close()
+	fmt.Println("qosproxy: bye")
+}

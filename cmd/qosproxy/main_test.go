@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashqos/internal/qosnet"
+)
+
+// proc is one spawned daemon: its command, bound address (parsed from the
+// startup banner) and the rest of its output.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+	rest *bytes.Buffer
+	wg   *sync.WaitGroup
+}
+
+// start launches a daemon binary and parses "listening on <addr>" from the
+// first stdout line.
+func start(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("%s produced no output: %v", filepath.Base(bin), sc.Err())
+	}
+	banner := sc.Text()
+	i := strings.LastIndex(banner, "listening on ")
+	if i < 0 {
+		t.Fatalf("unexpected banner %q", banner)
+	}
+	p := &proc{cmd: cmd, addr: strings.TrimSpace(banner[i+len("listening on "):]),
+		rest: &bytes.Buffer{}, wg: &sync.WaitGroup{}}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for sc.Scan() {
+			p.rest.WriteString(sc.Text())
+			p.rest.WriteByte('\n')
+		}
+	}()
+	return p
+}
+
+// admittedWithin counts batch outcomes admitted within horizonMS of their
+// arrival — the per-horizon guaranteed capacity a client actually observes.
+func admittedWithin(outs []qosnet.ReadResult, horizonMS float64) int {
+	n := 0
+	for _, o := range outs {
+		if !o.Rejected && o.DelayMS <= horizonMS {
+			n++
+		}
+	}
+	return n
+}
+
+// TestProxyEndToEnd builds qosd and qosproxy, runs two qosd backends with
+// a proxy in front, and checks the full verb surface, the additive
+// admission capacity of the two-backend cluster, and that a device failure
+// on one backend degrades service without client-visible errors.
+func TestProxyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the qosd and qosproxy binaries")
+	}
+	dir := t.TempDir()
+	qosdBin := filepath.Join(dir, "qosd")
+	proxyBin := filepath.Join(dir, "qosproxy")
+	if out, err := exec.Command("go", "build", "-o", qosdBin, "flashqos/cmd/qosd").CombinedOutput(); err != nil {
+		t.Fatalf("go build qosd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", proxyBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build qosproxy: %v\n%s", err, out)
+	}
+
+	b0 := start(t, qosdBin, "-addr", "127.0.0.1:0", "-proto", "binary", "-drain-timeout", "2s")
+	b1 := start(t, qosdBin, "-addr", "127.0.0.1:0", "-proto", "binary", "-drain-timeout", "2s")
+	px := start(t, proxyBin,
+		"-listen", "127.0.0.1:0",
+		"-backends", b0.addr+","+b1.addr,
+		"-probe-interval", "200ms",
+	)
+
+	c, err := qosnet.DialBinary(px.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Full verb surface through the proxy.
+	res, err := c.Read(42)
+	if err != nil {
+		t.Fatalf("READ: %v", err)
+	}
+	if res.Rejected || res.Device < 0 || res.Device >= 18 {
+		t.Errorf("READ 42 = %+v, want admission on a global device in [0,18)", res)
+	}
+	if res, err = c.Write(43); err != nil {
+		t.Fatalf("WRITE: %v", err)
+	} else if !res.Rejected && (res.Device < 0 || res.Device >= 18) {
+		t.Errorf("WRITE 43 device %d outside the global range", res.Device)
+	}
+	db, devs, err := c.Map(42)
+	if err != nil {
+		t.Fatalf("MAP: %v", err)
+	}
+	if db != 42%36 || len(devs) != 3 {
+		t.Errorf("MAP 42 = (%d, %v), want design block %d with 3 replicas", db, devs, 42%36)
+	}
+	if _, _, _, _, err := c.Stats(); err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("METRICS: %v", err)
+	}
+	if !strings.Contains(m, "flashqos_proxy_backends 2") {
+		t.Errorf("METRICS missing proxy backend gauge:\n%s", m)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("HEALTH: %v", err)
+	}
+	if h.Devices != 18 || h.Alive != 18 {
+		t.Errorf("HEALTH = %d devices / %d alive, want 18 / 18", h.Devices, h.Alive)
+	}
+	gs, err := c.ShardStats()
+	if err != nil {
+		t.Fatalf("SHARDSTATS: %v", err)
+	}
+	if len(gs) != 2 {
+		t.Errorf("SHARDSTATS returned %d gauges, want 2", len(gs))
+	}
+
+	// Additive capacity: one 600-block joint batch through the proxy
+	// admits roughly twice as many requests within a fixed horizon as the
+	// same batch against a single backend, because each backend fills its
+	// own S-per-interval budget independently.
+	blocks := make([]int64, 600)
+	for i := range blocks {
+		blocks[i] = int64(i)
+	}
+	const horizonMS = 3.0
+	outs, err := c.Batch(blocks)
+	if err != nil {
+		t.Fatalf("BATCH via proxy: %v", err)
+	}
+	viaProxy := admittedWithin(outs, horizonMS)
+
+	// Let the windows the proxy batch reserved (a few ms ahead) pass, so
+	// the single-backend measurement starts from an uncongested clock.
+	time.Sleep(25 * time.Millisecond)
+	direct, err := qosnet.DialBinary(b0.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err = direct.Batch(blocks)
+	direct.Close()
+	if err != nil {
+		t.Fatalf("BATCH direct: %v", err)
+	}
+	viaSingle := admittedWithin(outs, horizonMS)
+	if viaSingle == 0 {
+		t.Fatal("single backend admitted nothing within the horizon")
+	}
+	if ratio := float64(viaProxy) / float64(viaSingle); ratio < 1.4 {
+		t.Errorf("proxy admitted %d within %gms vs %d on one backend (ratio %.2f), want >= 1.4x",
+			viaProxy, horizonMS, viaSingle, ratio)
+	}
+
+	// A device failure on one backend degrades capacity, not correctness:
+	// every verb keeps answering without client-visible errors.
+	if state, _, err := c.Fail(9); err != nil || state != "failed" {
+		t.Fatalf("FAIL 9 = (%q, %v), want failed", state, err)
+	}
+	h, err = c.Health()
+	if err != nil {
+		t.Fatalf("HEALTH after FAIL: %v", err)
+	}
+	if h.Alive != 17 {
+		t.Errorf("HEALTH alive = %d after failing one device, want 17", h.Alive)
+	}
+	for block := int64(0); block < 100; block++ {
+		if _, err := c.Read(block); err != nil {
+			t.Fatalf("READ %d after device failure: %v", block, err)
+		}
+	}
+	if _, _, err := c.Recover(9); err != nil {
+		t.Fatalf("RECOVER 9: %v", err)
+	}
+	c.Close()
+
+	// Clean shutdown of the proxy on SIGINT.
+	if err := px.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() {
+		px.wg.Wait()
+		waited <- px.cmd.Wait()
+	}()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Errorf("qosproxy exited with %v, want clean exit", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("qosproxy did not exit after SIGINT")
+	}
+	if out := px.rest.String(); !strings.Contains(out, "qosproxy: bye") {
+		t.Errorf("farewell missing from proxy output:\n%s", out)
+	}
+	for _, b := range []*proc{b0, b1} {
+		b.cmd.Process.Signal(os.Interrupt)
+	}
+}

@@ -531,23 +531,26 @@ func TestConcurrentAccessors(t *testing.T) {
 }
 
 // TestWindowShardPruning pushes the admission frontier across far more
-// windows than the prune threshold and checks old counters are dropped
-// while the invariant still holds for live ones.
+// counter chunks than the prune threshold and checks old chunks are
+// dropped while the invariant still holds for live ones.
 func TestWindowShardPruning(t *testing.T) {
 	cs := newConcurrent(t, Config{})
 	led := cs.System().ledger.(*shardedLedger)
-	// Touch many distinct windows directly through the counter path.
-	const windows = windowShardCount * (shardPruneLen + 100)
-	for w := int64(0); w < windows; w += windowShardCount {
+	// Touch many distinct chunks that all land on shard 0: stepping the
+	// window by windowShardCount*chunkSize advances the chunk index by
+	// windowShardCount, which keeps chunk&(windowShardCount-1) fixed.
+	const step = windowShardCount * chunkSize
+	const windows = step * (shardPruneLen + 100)
+	for w := int64(0); w < windows; w += step {
 		led.counter(w).Store(1)
 		led.hint.Store(w) // frontier far ahead, as sustained overload leaves it
 	}
 	sh := &led.shards[0]
 	sh.mu.Lock()
-	n := len(sh.counts)
+	n := len(sh.chunks)
 	sh.mu.Unlock()
 	if n > shardPruneLen+1 {
-		t.Errorf("shard 0 tracks %d windows, prune threshold %d", n, shardPruneLen)
+		t.Errorf("shard 0 tracks %d chunks, prune threshold %d", n, shardPruneLen)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 // bit-identical to their pre-refactor outputs (see TestEngineGolden).
 type engine struct {
 	cfg    Config
+	invT   float64 // 1/IntervalMS, hoisted off the admission hot loop
 	alloc  *decluster.DesignTheoretic
 	mapper *blockmap.Mapper
 	sched  *retrieval.Online
@@ -79,6 +80,7 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e := &engine{
 		cfg:     cfg,
+		invT:    1 / cfg.IntervalMS,
 		alloc:   alloc,
 		mapper:  mapper,
 		sched:   retrieval.NewOnline(d.N, cfg.ServiceMS),
@@ -141,7 +143,7 @@ const delayTol = 1e-9
 // without it, bumping a delayed request to "the start of window w+1" can
 // floor back into window w and loop forever.
 func (e *engine) window(t float64) int64 {
-	return int64(math.Floor(t/e.cfg.IntervalMS + windowEps))
+	return int64(math.Floor(t*e.invT + windowEps))
 }
 
 // windowEps absorbs float rounding in window arithmetic (in units of
@@ -215,8 +217,11 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
 	}
 	tAdm := e.startFrom(arrival)
+	// w tracks window(tAdm) across the scan: advancing to the next window
+	// is an integer increment (windowEps guarantees window(float64(w+1)·T)
+	// is exactly w+1), so only scheduler-driven jumps recompute it.
+	w := e.window(tAdm)
 	for {
-		w := e.window(tAdm)
 		if !e.ledger.tryReserve(w, 1, limit) {
 			// Window w is full under the snapshot limit.
 			if e.stat != nil {
@@ -237,7 +242,8 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 			if e.hinted {
 				e.ledger.noteFull(w + 1)
 			}
-			tAdm = float64(w+1) * e.cfg.IntervalMS // next window
+			w++
+			tAdm = float64(w) * e.cfg.IntervalMS // next window
 			continue
 		}
 		// Slot reserved in w. The guaranteed path also needs an idle
@@ -281,6 +287,7 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 			e.ledger.noteDeadBefore(dead)
 		}
 		tAdm = tFree
+		w = e.window(tAdm)
 	}
 }
 
@@ -338,15 +345,16 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 		}
 	}
 	tAdm := e.startFrom(arrival)
+	w := e.window(tAdm)
 	for {
-		w := e.window(tAdm)
 		if !e.ledger.tryReserve(w, c, limit) {
 			if e.cfg.Policy == admission.Reject {
 				return Outcome{Rejected: true, Admitted: arrival}
 			}
 			// The window may still have room for smaller requests, so the
 			// frontier (which serves single-slot reads too) is not advanced.
-			tAdm = float64(w+1) * e.cfg.IntervalMS
+			w++
+			tAdm = float64(w) * e.cfg.IntervalMS
 			continue
 		}
 		// All available replicas must be free simultaneously.
@@ -399,6 +407,7 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 			e.ledger.noteDeadBefore(dead)
 		}
 		tAdm = tAllFree
+		w = e.window(tAdm)
 	}
 }
 

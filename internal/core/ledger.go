@@ -100,18 +100,46 @@ const (
 	windowShardBits  = 6
 	windowShardCount = 1 << windowShardBits
 
+	// Counters are allocated in chunks of 64 consecutive windows: one map
+	// entry and one allocation cover chunkSize windows, so map traffic
+	// (hash, assign, prune scans) is paid once per chunk instead of once
+	// per window, and the frontier's working set is one or two chunks.
+	chunkBits = 6
+	chunkSize = 1 << chunkBits
+
 	// shardPruneLen bounds per-shard map growth on long-running servers:
-	// once a shard tracks this many windows, counters for windows far below
-	// the reclaim floor — the admission frontier in deterministic mode, the
-	// statistical gate's fold progress in ε > 0 mode (notePrunable); both
-	// only move forward — are dropped.
-	shardPruneLen    = 4096
-	shardPruneMargin = 1024
+	// once a shard tracks this many chunks (chunkSize windows each),
+	// chunks entirely below the reclaim floor — the admission frontier in
+	// deterministic mode, the statistical gate's fold progress in ε > 0
+	// mode (notePrunable); both only move forward — are dropped.
+	shardPruneLen    = 512
+	shardPruneMargin = 1024 // margin in windows kept below the floor
 )
+
+// counterChunk holds the admission counters for chunkSize consecutive
+// windows (chunk index ck covers windows ck·chunkSize … ck·chunkSize+63).
+type counterChunk struct {
+	counts [chunkSize]atomic.Int32
+}
 
 type windowShard struct {
 	mu     sync.Mutex
-	counts map[int64]*atomic.Int32
+	chunks map[int64]*counterChunk
+}
+
+// counterCacheSize is the direct-mapped cache of recently resolved counter
+// chunks. Submissions cluster around the admission frontier, so one or two
+// chunks absorb almost every lookup; the cache turns those into one atomic
+// pointer load plus an index instead of a shard mutex + map access.
+const counterCacheSize = 256
+
+// cachedChunk pins one resolved (chunk index, chunk) pair. The chunk
+// pointer is the canonical one stored in the shard map — the cache never
+// creates chunks, so two racing publishers for the same index always
+// publish the same pointer and per-window CAS accounting stays sound.
+type cachedChunk struct {
+	ck int64
+	p  *counterChunk
 }
 
 // shardedLedger is the concurrent ledger: interval-window admission counts
@@ -138,49 +166,76 @@ type shardedLedger struct {
 	prunable atomic.Int64
 
 	shards [windowShardCount]windowShard
+
+	// cache short-circuits chunk resolution for hot windows, indexed by
+	// chunk modulo counterCacheSize (direct-mapped, last publisher wins).
+	// A stale entry can only describe a pruned chunk — pruning only drops
+	// chunks below the reclaim floor, which are never read again — so a
+	// hit never resurrects state the map has forgotten about a live chunk.
+	cache [counterCacheSize]atomic.Pointer[cachedChunk]
 }
 
 func newShardedLedger() *shardedLedger { return &shardedLedger{} }
 
-// counter returns the admission counter for window w, creating it if
-// needed. The shard lock is held only for the map access; the counter
-// itself is operated on with atomics.
+// counter returns the admission counter for window w, creating its chunk
+// if needed. The fast path — chunk already cached — is small enough to
+// inline into tryReserve/add/release; resolution through the shard map
+// lives in counterSlow.
 func (l *shardedLedger) counter(w int64) *atomic.Int32 {
-	sh := &l.shards[uint64(w)&(windowShardCount-1)]
-	sh.mu.Lock()
-	if sh.counts == nil {
-		sh.counts = make(map[int64]*atomic.Int32)
+	ck := w >> chunkBits
+	if e := l.cache[uint64(ck)&(counterCacheSize-1)].Load(); e != nil && e.ck == ck {
+		return &e.p.counts[w&(chunkSize-1)]
 	}
-	c, ok := sh.counts[w]
+	return l.counterSlow(w, ck)
+}
+
+// counterSlow resolves (and creates if needed) w's chunk through the shard
+// map, then publishes it to the cache. The shard lock is held only for the
+// map access; the counter itself is operated on with atomics.
+func (l *shardedLedger) counterSlow(w, ck int64) *atomic.Int32 {
+	slot := &l.cache[uint64(ck)&(counterCacheSize-1)]
+	sh := &l.shards[uint64(ck)&(windowShardCount-1)]
+	sh.mu.Lock()
+	if sh.chunks == nil {
+		sh.chunks = make(map[int64]*counterChunk)
+	}
+	p, ok := sh.chunks[ck]
 	if !ok {
-		if len(sh.counts) >= shardPruneLen {
+		if len(sh.chunks) >= shardPruneLen {
 			floor := l.hint.Load()
-			if p := l.prunable.Load(); p > floor {
-				floor = p
+			if pr := l.prunable.Load(); pr > floor {
+				floor = pr
 			}
-			floor -= shardPruneMargin
-			for k := range sh.counts {
-				if k < floor {
-					delete(sh.counts, k)
+			// A chunk is reclaimable only when every window in it sits
+			// below the margin-padded floor.
+			floorCk := (floor - shardPruneMargin) >> chunkBits
+			for k := range sh.chunks {
+				if k < floorCk {
+					delete(sh.chunks, k)
 				}
 			}
 		}
-		c = new(atomic.Int32)
-		sh.counts[w] = c
+		p = new(counterChunk)
+		sh.chunks[ck] = p
 	}
 	sh.mu.Unlock()
-	return c
+	slot.Store(&cachedChunk{ck: ck, p: p})
+	return &p.counts[w&(chunkSize-1)]
 }
 
 func (l *shardedLedger) count(w int64) int {
-	sh := &l.shards[uint64(w)&(windowShardCount-1)]
+	ck := w >> chunkBits
+	if e := l.cache[uint64(ck)&(counterCacheSize-1)].Load(); e != nil && e.ck == ck {
+		return int(e.p.counts[w&(chunkSize-1)].Load())
+	}
+	sh := &l.shards[uint64(ck)&(windowShardCount-1)]
 	sh.mu.Lock()
-	c := sh.counts[w]
+	p := sh.chunks[ck]
 	sh.mu.Unlock()
-	if c == nil {
+	if p == nil {
 		return 0
 	}
-	return int(c.Load())
+	return int(p.counts[w&(chunkSize-1)].Load())
 }
 
 // tryReserve atomically claims n admission slots in window w. During a
@@ -252,9 +307,11 @@ func (l *shardedLedger) maxCount() int {
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
-		for _, c := range sh.counts {
-			if v := int(c.Load()); v > max {
-				max = v
+		for _, p := range sh.chunks {
+			for j := range p.counts {
+				if v := int(p.counts[j].Load()); v > max {
+					max = v
+				}
 			}
 		}
 		sh.mu.Unlock()
@@ -263,10 +320,13 @@ func (l *shardedLedger) maxCount() int {
 }
 
 func (l *shardedLedger) reset() {
+	for i := range l.cache {
+		l.cache[i].Store(nil)
+	}
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
-		sh.counts = nil
+		sh.chunks = nil
 		sh.mu.Unlock()
 	}
 	l.hint.Store(0)

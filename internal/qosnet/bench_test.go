@@ -10,6 +10,7 @@ import (
 	"flashqos/internal/core"
 	"flashqos/internal/design"
 	"flashqos/internal/shard"
+	"flashqos/internal/wire"
 )
 
 // BenchmarkServerThroughput floods one Server with 8 concurrent pipelined
@@ -29,7 +30,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 
 func benchServerThroughput(b *testing.B, shards int) {
 	const clients = 8
-	const window = 64 // pipelined requests in flight per connection
+	const window = 384 // pipelined requests in flight per connection
 
 	arr, err := shard.New(shards, core.Config{Design: design.Paper931()})
 	if err != nil {
@@ -66,7 +67,7 @@ func benchServerThroughput(b *testing.B, shards int) {
 		go func(id, n int) {
 			defer wg.Done()
 			conn := conns[id]
-			w := bufio.NewWriter(conn)
+			w := bufio.NewWriterSize(conn, connReadBuf)
 			r := bufio.NewReader(conn)
 			sent, recvd := 0, 0
 			for recvd < n {
@@ -80,6 +81,93 @@ func benchServerThroughput(b *testing.B, shards int) {
 				}
 				for recvd < sent {
 					if _, err := r.ReadString('\n'); err != nil {
+						b.Error(err)
+						return
+					}
+					recvd++
+				}
+			}
+		}(i, per[i])
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkBinaryThroughput is BenchmarkServerThroughput over the framed
+// binary protocol: the same 8 pipelined connections and equally deep
+// pipeline windows,
+// but requests are raw OpSubmit frames and responses fixed-size outcome
+// frames — no fmt, no line scanning, pooled buffers on both sides. The
+// ops/s ratio against the text benchmark is the tentpole claim (≥3×) and
+// both are pinned in .github/bench-baseline.txt.
+func BenchmarkBinaryThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchBinaryThroughput(b, shards)
+		})
+	}
+}
+
+func benchBinaryThroughput(b *testing.B, shards int) {
+	const clients = 8
+	const window = 384
+
+	arr, err := shard.New(shards, core.Config{Design: design.Paper931()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServerSharded(arr, Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	conns := make([]net.Conn, clients)
+	for i := range conns {
+		conns[i], err = net.Dial("tcp", addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conns[i].Close()
+	}
+
+	per := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		per[i] = b.N / clients
+	}
+	per[0] += b.N % clients
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id, n int) {
+			defer wg.Done()
+			conn := conns[id]
+			w := bufio.NewWriterSize(conn, connReadBuf)
+			rd := wire.NewReader(bufio.NewReaderSize(conn, connReadBuf), 0)
+			var frame [wire.HeaderSize + 8]byte
+			sent, recvd := 0, 0
+			for recvd < n {
+				for sent < n && sent-recvd < window {
+					id64 := uint64(id)<<32 | uint64(sent)
+					payload := wire.AppendBlock(frame[wire.HeaderSize:wire.HeaderSize], int64(id)*1_000_000+int64(sent))
+					wire.PutHeader(frame[:], wire.Header{Opcode: wire.OpSubmit, ID: id64, Len: uint32(len(payload))})
+					if _, err := w.Write(frame[:]); err != nil {
+						b.Error(err)
+						return
+					}
+					sent++
+				}
+				if err := w.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for recvd < sent {
+					if _, _, err := rd.Next(); err != nil {
 						b.Error(err)
 						return
 					}

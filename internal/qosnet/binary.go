@@ -1,0 +1,210 @@
+package qosnet
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"flashqos/internal/core"
+	"flashqos/internal/wire"
+)
+
+// maxBatchBlocks caps one OpBatch request; larger batches get an error
+// frame (and the payload cap usually refuses them first).
+const maxBatchBlocks = 1 << 16
+
+// toWireOutcome converts a core outcome to its wire form. Rejected
+// outcomes carry device -1 and zeroed timings, matching the text
+// protocol's bare REJECTED line.
+func toWireOutcome(out core.Outcome) wire.Outcome {
+	if out.Rejected {
+		o := wire.Outcome{Device: -1, Status: wire.StatusRejected}
+		if out.Unavailable {
+			o.Status |= wire.StatusUnavailable
+		}
+		return o
+	}
+	o := wire.Outcome{Device: int32(out.Device), DelayMS: out.Delay, RespMS: out.Response()}
+	if out.Delayed {
+		o.Status |= wire.StatusDelayed
+	}
+	return o
+}
+
+// handleBinary serves one framed connection. Requests are processed in
+// arrival order (admission is fast enough that per-connection concurrency
+// would only buy reordering); the request ID is echoed on every response,
+// so clients may pipeline arbitrarily deep and demultiplex completions.
+// Responses are flushed once the read buffer holds no further complete
+// frame, so a pipelined burst costs one write syscall.
+func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
+	rd := wire.NewReader(r, s.opts.MaxPayloadBytes)
+	bw := bufio.NewWriterSize(conn, connReadBuf)
+	wr := wire.NewWriter(bw)
+	scratch := make([]byte, 0, 256)
+	var blocks []int64         // OpBatch request scratch
+	var outs []wire.Outcome    // OpBatch response scratch
+	var gauges []wire.ShardGauge
+	hasHealth := s.anyHealth()
+	arrival := -1.0 // virtual arrival stamp, renewed per socket fill
+	for {
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		h, payload, err := rd.Next()
+		if err != nil {
+			// A framing violation (bad magic/version, oversized length,
+			// truncated frame) cannot be resynchronized: best-effort error
+			// frame, then close. Clean EOF just closes.
+			if !errors.Is(err, io.EOF) {
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				wr.WriteError(wire.Header{}, err.Error())
+				bw.Flush()
+			}
+			return
+		}
+		if arrival < 0 {
+			arrival = s.now()
+		}
+		resp := wire.Header{Opcode: h.Opcode, ID: h.ID}
+		switch h.Opcode {
+		case wire.OpSubmit, wire.OpWrite:
+			block, perr := wire.ParseBlock(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad block payload")
+				break
+			}
+			out := s.submitAt(st, h.Opcode == wire.OpWrite, block, hasHealth, arrival)
+			err = wr.WriteOutcome(resp, toWireOutcome(out))
+		case wire.OpBatch:
+			var perr error
+			blocks, perr = wire.ParseBatchReq(payload, blocks)
+			if perr != nil || len(blocks) > maxBatchBlocks {
+				err = wr.WriteError(resp, "bad batch payload")
+				break
+			}
+			if outs != nil {
+				outs = outs[:0]
+			}
+			for _, out := range s.submitBatch(st, blocks, hasHealth) {
+				outs = append(outs, toWireOutcome(out))
+			}
+			scratch = wire.AppendBatchResp(scratch[:0], outs)
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpMap:
+			block, perr := wire.ParseBlock(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad block payload")
+				break
+			}
+			i := s.arr.ShardOf(block)
+			sys := s.arr.System(i)
+			base := i * s.arr.DevicesPerShard()
+			m := wire.MapResp{DesignBlock: int32(sys.DesignBlock(block))}
+			for _, d := range sys.Replicas(block) {
+				m.Devices = append(m.Devices, int32(base+d))
+			}
+			scratch = wire.AppendMapResp(scratch[:0], m)
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpStats:
+			req, del, rej, sum := s.totals()
+			avg := 0.0
+			if del > 0 {
+				avg = sum / float64(del)
+			}
+			scratch = wire.AppendStats(scratch[:0], wire.Stats{
+				Requests: req, Delayed: del, Rejected: rej, AvgDelayMS: avg,
+			})
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpMetrics:
+			scratch = s.appendMetrics(scratch[:0], hasHealth)
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpFail, wire.OpRecover:
+			dev, perr := wire.ParseDevice(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad device payload")
+				break
+			}
+			if !hasHealth {
+				err = wr.WriteError(resp, "no health monitor")
+				break
+			}
+			if int(dev) >= s.arr.Devices() {
+				err = wr.WriteError(resp, "bad device "+strconv.Itoa(int(dev)))
+				break
+			}
+			state, effS, aerr := s.adminFailRecover(h.Opcode == wire.OpFail, int(dev))
+			if aerr != nil {
+				err = wr.WriteError(resp, aerr.Error())
+				break
+			}
+			scratch = wire.AppendAdminResp(scratch[:0], wire.AdminResp{
+				EffectiveS: int32(effS), State: state,
+			})
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpHealth:
+			if !hasHealth {
+				err = wr.WriteError(resp, "no health monitor")
+				break
+			}
+			alive, pending, done := s.healthTotals()
+			hrep := wire.Health{
+				Devices:        int32(s.arr.Devices()),
+				Alive:          int32(alive),
+				EffectiveS:     int32(s.arr.EffectiveS()),
+				FullS:          int32(s.arr.S()),
+				RebuildPending: int32(pending),
+				RebuildDone:    done,
+			}
+			scratch = scratch[:0]
+			scratch = wire.AppendInt32(scratch, hrep.Devices)
+			scratch = wire.AppendInt32(scratch, hrep.Alive)
+			scratch = wire.AppendInt32(scratch, hrep.EffectiveS)
+			scratch = wire.AppendInt32(scratch, hrep.FullS)
+			scratch = wire.AppendInt32(scratch, hrep.RebuildPending)
+			scratch = wire.AppendInt64(scratch, hrep.RebuildDone)
+			scratch = wire.AppendUint32(scratch, uint32(s.arr.Devices()))
+			for g := 0; g < s.arr.Devices(); g++ {
+				scratch = wire.AppendInt32(scratch, int32(g))
+				mon, local := s.monitorFor(g)
+				if mon == nil {
+					scratch = wire.AppendFloat64(scratch, 0)
+					scratch = append(scratch, byte(len("unmonitored")))
+					scratch = append(scratch, "unmonitored"...)
+					continue
+				}
+				scratch = wire.AppendFloat64(scratch, mon.EWMA(local))
+				state := mon.State(local).String()
+				scratch = append(scratch, byte(len(state)))
+				scratch = append(scratch, state...)
+			}
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpShardStats:
+			gauges = s.shardGauges(gauges)
+			scratch = wire.AppendShardStats(scratch[:0], gauges)
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpQuit:
+			bw.Flush()
+			return
+		default:
+			err = wr.WriteError(resp, "unknown opcode "+strconv.Itoa(int(h.Opcode)))
+		}
+		if err != nil {
+			return
+		}
+		// Flush only when no further complete frame is buffered — i.e. when
+		// the next Next call may block on the network. A pipelined burst
+		// thus costs one write syscall. A buffered malformed header counts
+		// as "more": Next fails on it without blocking and that error path
+		// flushes.
+		if !rd.More() {
+			if bw.Flush() != nil {
+				return
+			}
+			arrival = -1 // next frame comes off a fresh fill
+		}
+	}
+}

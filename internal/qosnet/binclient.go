@@ -1,0 +1,446 @@
+package qosnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"flashqos/internal/wire"
+)
+
+// SubmitResult is one asynchronous READ/WRITE completion delivered by a
+// BinaryClient. ID is the request ID the completion answered — under deep
+// pipelining (and behind a proxy) completions arrive out of order.
+type SubmitResult struct {
+	ReadResult
+	ID  uint64
+	Err error
+}
+
+// BinaryClient speaks the framed binary protocol over one connection with
+// arbitrarily deep pipelining: SubmitAsync/WriteAsync enqueue a request
+// and return a channel, a demultiplexer goroutine routes completions back
+// by request ID, and a flusher goroutine batches the pending writes into
+// few syscalls. All methods are safe for concurrent use; the synchronous
+// verbs (Read, Stats, Health, ...) are thin wrappers that wait for their
+// own completion and may interleave with async traffic.
+type BinaryClient struct {
+	conn net.Conn
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wr   *wire.Writer
+	werr error
+
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]func(h wire.Header, payload []byte, err error)
+	failed  error // terminal demux error; set once under pmu
+
+	kick chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// DialBinary connects to a qosnet server's binary protocol.
+func DialBinary(addr string) (*BinaryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewBinaryClient(conn), nil
+}
+
+// NewBinaryClient speaks the binary protocol over an established
+// connection (which it takes ownership of).
+func NewBinaryClient(conn net.Conn) *BinaryClient {
+	c := &BinaryClient{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, connReadBuf),
+		pending: make(map[uint64]func(wire.Header, []byte, error)),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	c.wr = wire.NewWriter(c.bw)
+	go c.demux()
+	go c.flusher()
+	return c
+}
+
+// demux routes response frames to their registered completion callbacks.
+// Callbacks run on this goroutine with a payload that is only valid for
+// the duration of the call.
+func (c *BinaryClient) demux() {
+	rd := wire.NewReader(bufio.NewReaderSize(c.conn, connReadBuf), 0)
+	for {
+		h, payload, err := rd.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("qosnet: binary connection lost: %w", err))
+			return
+		}
+		c.pmu.Lock()
+		cb := c.pending[h.ID]
+		delete(c.pending, h.ID)
+		c.pmu.Unlock()
+		if cb != nil {
+			cb(h, payload, nil)
+		}
+		// A frame with no waiter (e.g. the registration raced a server
+		// error frame with ID 0) is dropped.
+	}
+}
+
+// fail marks the client dead and completes every pending request with err.
+func (c *BinaryClient) fail(err error) {
+	c.pmu.Lock()
+	if c.failed == nil {
+		c.failed = err
+	}
+	stranded := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	c.once.Do(func() { close(c.done) })
+	for _, cb := range stranded {
+		cb(wire.Header{}, nil, err)
+	}
+}
+
+// Err reports the terminal connection error, nil while the client is live.
+func (c *BinaryClient) Err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.failed
+}
+
+// Done is closed when the connection dies or Close is called.
+func (c *BinaryClient) Done() <-chan struct{} { return c.done }
+
+// flusher drains buffered writes after each enqueue kick. Because the
+// kick channel has capacity one, a burst of enqueues between wakeups
+// coalesces into a single flush — pipelined submissions cost one write
+// syscall per burst, not one per request.
+func (c *BinaryClient) flusher() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.kick:
+			c.wmu.Lock()
+			if c.werr == nil {
+				if err := c.bw.Flush(); err != nil {
+					c.werr = err
+				}
+			}
+			c.wmu.Unlock()
+		}
+	}
+}
+
+func (c *BinaryClient) kickFlush() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// register installs a completion callback for id unless the client has
+// already failed, in which case the terminal error is returned.
+func (c *BinaryClient) register(id uint64, cb func(wire.Header, []byte, error)) error {
+	c.pmu.Lock()
+	if c.failed != nil {
+		err := c.failed
+		c.pmu.Unlock()
+		return err
+	}
+	c.pending[id] = cb
+	c.pmu.Unlock()
+	return nil
+}
+
+func (c *BinaryClient) unregister(id uint64) {
+	c.pmu.Lock()
+	if c.pending != nil {
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+}
+
+// send frames one request. The payload bytes are copied into the write
+// buffer before send returns.
+func (c *BinaryClient) send(op uint8, id uint64, payload []byte) error {
+	c.wmu.Lock()
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		return err
+	}
+	err := c.wr.WriteFrame(wire.Header{Opcode: op, ID: id}, payload)
+	if err != nil {
+		c.werr = err
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.kickFlush()
+	return nil
+}
+
+// Close sends OpQuit and closes the connection. In-flight requests
+// complete with a connection-lost error.
+func (c *BinaryClient) Close() error {
+	c.wmu.Lock()
+	if c.werr == nil {
+		c.wr.WriteFrame(wire.Header{Opcode: wire.OpQuit, ID: c.nextID.Add(1)}, nil)
+		c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	c.once.Do(func() { close(c.done) })
+	return c.conn.Close()
+}
+
+// errorFrame converts an error response payload into an error.
+func errorFrame(payload []byte) error { return errors.New("qosnet: server error: " + string(payload)) }
+
+func fromWireOutcome(o wire.Outcome) ReadResult {
+	return ReadResult{
+		Device:   int(o.Device),
+		DelayMS:  o.DelayMS,
+		RespMS:   o.RespMS,
+		Delayed:  o.Delayed(),
+		Rejected: o.Rejected(),
+	}
+}
+
+// SubmitAsync enqueues a pipelined block read. The returned channel
+// (capacity 1) delivers exactly one completion; it never blocks the
+// demultiplexer.
+func (c *BinaryClient) SubmitAsync(block int64) <-chan SubmitResult {
+	return c.submitAsync(wire.OpSubmit, block)
+}
+
+// WriteAsync enqueues a pipelined block write.
+func (c *BinaryClient) WriteAsync(block int64) <-chan SubmitResult {
+	return c.submitAsync(wire.OpWrite, block)
+}
+
+func (c *BinaryClient) submitAsync(op uint8, block int64) <-chan SubmitResult {
+	ch := make(chan SubmitResult, 1)
+	id := c.nextID.Add(1)
+	cb := func(h wire.Header, payload []byte, err error) {
+		if err != nil {
+			ch <- SubmitResult{ID: id, Err: err}
+			return
+		}
+		if h.Flags&wire.FlagError != 0 {
+			ch <- SubmitResult{ID: id, Err: errorFrame(payload)}
+			return
+		}
+		o, _, perr := wire.ParseOutcome(payload)
+		if perr != nil {
+			ch <- SubmitResult{ID: id, Err: perr}
+			return
+		}
+		ch <- SubmitResult{ID: id, ReadResult: fromWireOutcome(o)}
+	}
+	if err := c.register(id, cb); err != nil {
+		ch <- SubmitResult{ID: id, Err: err}
+		return ch
+	}
+	var payload [8]byte
+	p := wire.AppendBlock(payload[:0], block)
+	if err := c.send(op, id, p); err != nil {
+		c.unregister(id)
+		ch <- SubmitResult{ID: id, Err: err}
+	}
+	return ch
+}
+
+// Call enqueues one framed request and invokes cb exactly once with the
+// response header and payload (the payload is valid only for the duration
+// of the call) or a terminal error. cb normally runs on the demultiplexer
+// goroutine; on enqueue failure it runs on the caller's. This is the
+// building block the proxy tier forwards frames with — no per-request
+// round-trip serialization.
+func (c *BinaryClient) Call(op uint8, payload []byte, cb func(h wire.Header, payload []byte, err error)) {
+	id := c.nextID.Add(1)
+	if err := c.register(id, cb); err != nil {
+		cb(wire.Header{}, nil, err)
+		return
+	}
+	if err := c.send(op, id, payload); err != nil {
+		c.unregister(id)
+		cb(wire.Header{}, nil, err)
+	}
+}
+
+// do frames one synchronous request and waits for its completion,
+// returning a copy of the response payload.
+func (c *BinaryClient) do(op uint8, payload []byte) (wire.Header, []byte, error) {
+	type result struct {
+		h       wire.Header
+		payload []byte
+		err     error
+	}
+	ch := make(chan result, 1)
+	id := c.nextID.Add(1)
+	cb := func(h wire.Header, p []byte, err error) {
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		ch <- result{h: h, payload: cp}
+	}
+	if err := c.register(id, cb); err != nil {
+		return wire.Header{}, nil, err
+	}
+	if err := c.send(op, id, payload); err != nil {
+		c.unregister(id)
+		return wire.Header{}, nil, err
+	}
+	res := <-ch
+	if res.err != nil {
+		return wire.Header{}, nil, res.err
+	}
+	if res.h.Flags&wire.FlagError != 0 {
+		return res.h, nil, errorFrame(res.payload)
+	}
+	return res.h, res.payload, nil
+}
+
+// Read submits a block read and waits for the outcome.
+func (c *BinaryClient) Read(block int64) (ReadResult, error) {
+	res := <-c.SubmitAsync(block)
+	return res.ReadResult, res.Err
+}
+
+// Write submits a block write and waits for the outcome.
+func (c *BinaryClient) Write(block int64) (ReadResult, error) {
+	res := <-c.WriteAsync(block)
+	return res.ReadResult, res.Err
+}
+
+// Batch submits simultaneous reads for joint admission and returns the
+// outcomes in input order.
+func (c *BinaryClient) Batch(blocks []int64) ([]ReadResult, error) {
+	_, payload, err := c.do(wire.OpBatch, wire.AppendBatchReq(nil, blocks))
+	if err != nil {
+		return nil, err
+	}
+	outs, err := wire.ParseBatchResp(payload, nil)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]ReadResult, len(outs))
+	for i, o := range outs {
+		rs[i] = fromWireOutcome(o)
+	}
+	return rs, nil
+}
+
+// Map asks where a data block lives.
+func (c *BinaryClient) Map(block int64) (designBlock int, devices []int, err error) {
+	_, payload, err := c.do(wire.OpMap, wire.AppendBlock(nil, block))
+	if err != nil {
+		return 0, nil, err
+	}
+	m, err := wire.ParseMapResp(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	devices = make([]int, len(m.Devices))
+	for i, d := range m.Devices {
+		devices[i] = int(d)
+	}
+	return int(m.DesignBlock), devices, nil
+}
+
+// Stats fetches the server counters.
+func (c *BinaryClient) Stats() (requests, delayed, rejected int64, avgDelayMS float64, err error) {
+	_, payload, err := c.do(wire.OpStats, nil)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	st, err := wire.ParseStats(payload)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return st.Requests, st.Delayed, st.Rejected, st.AvgDelayMS, nil
+}
+
+// Metrics fetches the Prometheus-style exposition text.
+func (c *BinaryClient) Metrics() (string, error) {
+	_, payload, err := c.do(wire.OpMetrics, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
+
+// Fail takes a device out of service (admin).
+func (c *BinaryClient) Fail(device int) (state string, effectiveS int, err error) {
+	return c.admin(wire.OpFail, device)
+}
+
+// Recover brings a failed device back (admin).
+func (c *BinaryClient) Recover(device int) (state string, effectiveS int, err error) {
+	return c.admin(wire.OpRecover, device)
+}
+
+func (c *BinaryClient) admin(op uint8, device int) (string, int, error) {
+	if device < 0 {
+		return "", 0, fmt.Errorf("qosnet: bad device %d", device)
+	}
+	_, payload, err := c.do(op, wire.AppendDevice(nil, uint32(device)))
+	if err != nil {
+		return "", 0, err
+	}
+	a, err := wire.ParseAdminResp(payload)
+	if err != nil {
+		return "", 0, err
+	}
+	return a.State, int(a.EffectiveS), nil
+}
+
+// Health fetches the device-health report.
+func (c *BinaryClient) Health() (HealthStatus, error) {
+	_, payload, err := c.do(wire.OpHealth, nil)
+	if err != nil {
+		return HealthStatus{}, err
+	}
+	h, err := wire.ParseHealth(payload)
+	if err != nil {
+		return HealthStatus{}, err
+	}
+	hs := HealthStatus{
+		Devices:        int(h.Devices),
+		Alive:          int(h.Alive),
+		EffectiveS:     int(h.EffectiveS),
+		FullS:          int(h.FullS),
+		RebuildPending: int(h.RebuildPending),
+		RebuildDone:    h.RebuildDone,
+	}
+	for _, d := range h.States {
+		hs.States = append(hs.States, DeviceHealth{
+			Device: int(d.Device),
+			State:  d.State,
+			EWMAMS: d.EWMAMS,
+		})
+	}
+	return hs, nil
+}
+
+// ShardStats fetches the per-shard admission gauges.
+func (c *BinaryClient) ShardStats() ([]wire.ShardGauge, error) {
+	_, payload, err := c.do(wire.OpShardStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.ParseShardStats(payload)
+}

@@ -11,6 +11,7 @@ import (
 	"flashqos/internal/design"
 	"flashqos/internal/health"
 	"flashqos/internal/sampling"
+	"flashqos/internal/wire"
 )
 
 // validResponseLine reports whether a server output line is one the
@@ -68,7 +69,9 @@ func FuzzHandle(f *testing.F) {
 		if _, err := sys.NewHealthMonitor(1000, health.Config{}); err != nil {
 			t.Fatal(err)
 		}
-		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512})
+		// ProtoText keeps the response stream line-oriented even when the
+		// fuzzer discovers inputs starting with the binary magic byte.
+		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512, Proto: ProtoText})
 		client, server := net.Pipe()
 		defer client.Close()
 
@@ -156,7 +159,7 @@ func FuzzHandleStat(f *testing.F) {
 		if _, err := sys.NewHealthMonitor(1000, health.Config{}); err != nil {
 			t.Fatal(err)
 		}
-		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512})
+		srv := NewServerOpts(sys, Options{ReadTimeout: 2 * time.Second, MaxLineBytes: 512, Proto: ProtoText})
 		client, server := net.Pipe()
 		defer client.Close()
 
@@ -192,6 +195,88 @@ func FuzzHandleStat(f *testing.F) {
 		case <-done:
 		case <-time.After(10 * time.Second):
 			t.Fatal("handler did not terminate")
+		}
+		client.Close()
+		<-respDone
+	})
+}
+
+// FuzzHandleBinary feeds arbitrary byte streams into the framed-protocol
+// handler: malformed headers, truncated payloads, oversized lengths, reused
+// request IDs, and valid frames with garbage payloads. The server must not
+// panic, must echo the request ID on every well-formed response frame, and
+// must terminate once the stream ends (framing errors close the
+// connection; a trailing OpQuit ends clean runs).
+func FuzzHandleBinary(f *testing.F) {
+	frame := func(prev []byte, op uint8, id uint64, payload []byte) []byte {
+		return wire.AppendFrame(prev, wire.Header{Opcode: op, ID: id}, payload)
+	}
+	// Well-formed exchanges across the verb set.
+	f.Add(frame(nil, wire.OpSubmit, 1, wire.AppendBlock(nil, 42)))
+	f.Add(frame(frame(nil, wire.OpWrite, 2, wire.AppendBlock(nil, 7)), wire.OpStats, 3, nil))
+	f.Add(frame(nil, wire.OpBatch, 4, wire.AppendBatchReq(nil, []int64{1, 2, 3})))
+	f.Add(frame(nil, wire.OpMap, 5, wire.AppendBlock(nil, -9)))
+	f.Add(frame(nil, wire.OpMetrics, 6, nil))
+	f.Add(frame(frame(nil, wire.OpFail, 7, wire.AppendDevice(nil, 0)), wire.OpHealth, 8, nil))
+	f.Add(frame(nil, wire.OpRecover, 9, wire.AppendDevice(nil, 99)))
+	f.Add(frame(nil, wire.OpShardStats, 10, nil))
+	f.Add(frame(nil, 0xEE, 11, nil)) // unknown opcode
+	// ID reuse back to back.
+	f.Add(frame(frame(nil, wire.OpSubmit, 12, wire.AppendBlock(nil, 1)), wire.OpSubmit, 12, wire.AppendBlock(nil, 2)))
+	// Garbage payloads on every opcode that parses one.
+	f.Add(frame(nil, wire.OpSubmit, 13, []byte{1, 2, 3}))
+	f.Add(frame(nil, wire.OpBatch, 14, wire.AppendUint32(nil, 1<<30)))
+	f.Add(frame(nil, wire.OpFail, 15, []byte("x")))
+	// Framing violations: bad magic, bad version, truncated, oversized.
+	f.Add([]byte{wire.Magic, wire.Version + 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(wire.AppendHeader(nil, wire.Header{Opcode: wire.OpSubmit, ID: 16, Len: 1 << 30}))
+	f.Add(frame(nil, wire.OpSubmit, 17, wire.AppendBlock(nil, 5))[:18])
+	f.Add([]byte{wire.Magic})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := core.New(core.Config{Design: design.Paper931()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.NewHealthMonitor(1000, health.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerOpts(sys, Options{
+			ReadTimeout:     2 * time.Second,
+			MaxPayloadBytes: 1 << 16,
+			Proto:           ProtoBinary,
+		})
+		client, server := net.Pipe()
+		defer client.Close()
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handle(server)
+		}()
+		respDone := make(chan struct{})
+		go func() {
+			defer close(respDone)
+			rd := wire.NewReader(bufio.NewReader(client), 1<<20)
+			for {
+				h, payload, err := rd.Next()
+				if err != nil {
+					return
+				}
+				if int(h.Len) != len(payload) {
+					t.Errorf("response frame Len %d != payload %d", h.Len, len(payload))
+				}
+			}
+		}()
+
+		client.SetWriteDeadline(time.Now().Add(3 * time.Second))
+		client.Write(data) // error tolerated: handler may close mid-payload
+		client.Write(wire.AppendFrame(nil, wire.Header{Opcode: wire.OpQuit, ID: 1 << 62}, nil))
+
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("binary handler did not terminate")
 		}
 		client.Close()
 		<-respDone

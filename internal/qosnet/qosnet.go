@@ -64,6 +64,20 @@
 // a flashqos_shards gauge plus per-shard series labelled {shard="i"}.
 // NewServer wraps a single system as a one-shard array, so a standalone
 // deployment behaves exactly as before.
+//
+// # Binary protocol
+//
+// Alongside the text protocol the server speaks a length-prefixed binary
+// framing (internal/wire): a 16-byte header carrying a request ID lets one
+// connection multiplex many in-flight requests with out-of-order
+// completion, and every text verb has a binary opcode (OpSubmit/OpWrite/
+// OpBatch/OpMap/OpStats/OpMetrics/OpFail/OpRecover/OpHealth/OpShardStats).
+// The protocol is auto-detected per connection from the first byte (the
+// frame magic 0xFB is not a byte any text verb starts with); Options.Proto
+// restricts the server to one protocol. Both handlers share a single
+// dispatch core — admission accounting, metrics rendering and admin logic
+// are the same code — so text and binary connections can interleave freely
+// against one server. See DESIGN.md §11 for the frame layout.
 package qosnet
 
 import (
@@ -83,6 +97,7 @@ import (
 	"flashqos/internal/core"
 	"flashqos/internal/health"
 	"flashqos/internal/shard"
+	"flashqos/internal/wire"
 )
 
 // Default robustness limits (see Options).
@@ -94,20 +109,79 @@ const (
 // and remaining connections were force-closed.
 var ErrForcedClose = errors.New("qosnet: drain timeout expired, connections force-closed")
 
+// Proto selects which wire protocols a server accepts. The protocol of
+// each connection is detected from its first byte: wire.Magic (0xFB)
+// opens a binary connection, anything else a text one.
+type Proto int
+
+const (
+	// ProtoBoth auto-detects text or binary per connection (default).
+	ProtoBoth Proto = iota
+	// ProtoText serves only the line protocol; a binary connection is
+	// answered with "ERR binary protocol disabled" and closed.
+	ProtoText
+	// ProtoBinary serves only framed connections; a text connection is
+	// answered with an error frame and closed.
+	ProtoBinary
+)
+
 // Options configures the server's backpressure and robustness controls.
-// The zero value means: unlimited connections, no read deadline, and
-// DefaultMaxLineBytes per request line.
+// The zero value means: unlimited connections, no read deadline,
+// DefaultMaxLineBytes per request line, wire.DefaultMaxPayload per binary
+// frame, and both protocols enabled.
 type Options struct {
 	// MaxConns caps concurrent connections; excess connections are sent
 	// "ERR server busy" and closed. 0 means unlimited.
 	MaxConns int
-	// ReadTimeout is the per-line read deadline; a connection idle longer
-	// than this is closed. 0 means no deadline.
+	// ReadTimeout is the per-line (text) or per-frame (binary) read
+	// deadline; a connection idle longer than this is closed. 0 means no
+	// deadline.
 	ReadTimeout time.Duration
-	// MaxLineBytes caps the request line length; longer lines are
-	// discarded and answered with "ERR line too long". 0 means
+	// MaxLineBytes caps the text request-line length, counted over the
+	// line's content excluding its terminator: a line whose content is
+	// exactly MaxLineBytes bytes is served, one byte more is discarded and
+	// answered with "ERR line too long". Both "\n" and "\r\n" terminators
+	// are excluded from the count, and the limit applies even when the
+	// line spans multiple bufio fills (bufio.ErrBufferFull). 0 means
 	// DefaultMaxLineBytes.
 	MaxLineBytes int
+	// MaxPayloadBytes caps a binary frame's payload length. A frame
+	// announcing more is a protocol violation: the stream cannot be
+	// resynchronized, so the connection is closed after an error frame.
+	// 0 means wire.DefaultMaxPayload.
+	MaxPayloadBytes int
+	// Proto restricts the accepted protocols (default ProtoBoth).
+	Proto Proto
+}
+
+// stripe is one slice of the server's request counters. Each connection
+// owns a stripe exclusively for its lifetime (acquireStripe /
+// releaseStripe), which makes every counter single-writer: increments are
+// a plain load + atomic store instead of a LOCK-prefixed read-modify-write,
+// and the delay sum needs no CAS loop. Readers (STATS, METRICS) sum the
+// registry of all stripes ever issued; released stripes keep their counts
+// and are handed to later connections, so totals stay monotone and the
+// registry stays bounded by the peak connection count.
+type stripe struct {
+	delayed  atomic.Int64
+	rejected atomic.Int64
+	delaySum atomic.Uint64 // float64 bits; single-writer accumulated
+	// shard counts requests per shard; the grand request total is the sum
+	// over all shards, so the hot path pays one counter, not two.
+	shard []atomic.Int64
+	_     [2]uint64
+}
+
+// bump increments a single-writer counter. Only the owning connection
+// goroutine writes it, so load + store (no LOCK RMW) is race-free while
+// the atomic store keeps reader snapshots tear-free.
+func bump(c *atomic.Int64) { c.Store(c.Load() + 1) }
+
+// addDelay accumulates a delay into the stripe's float64 sum. Single
+// writer, so read-add-store suffices.
+func (st *stripe) addDelay(d float64) {
+	v := math.Float64frombits(st.delaySum.Load()) + d
+	st.delaySum.Store(math.Float64bits(v))
 }
 
 // Server serves a shard.Array — one or more QoS engines with the block
@@ -118,13 +192,12 @@ type Server struct {
 	start time.Time
 	opts  Options
 
-	lastT     atomic.Uint64 // float64 bits: virtual-clock watermark
-	requests  atomic.Int64
-	delayed   atomic.Int64
-	rejected  atomic.Int64
-	delaySum  atomic.Uint64 // float64 bits, CAS-accumulated
-	busy      atomic.Int64  // connections rejected by the MaxConns cap
-	shardReqs []atomic.Int64
+	lastT atomic.Uint64 // float64 bits: virtual-clock watermark
+	busy  atomic.Int64  // connections rejected by the MaxConns cap
+
+	stripeMu    sync.Mutex
+	stripes     []*stripe // registry of every stripe ever issued
+	freeStripes []*stripe // stripes of closed connections, ready for reuse
 
 	lis      net.Listener
 	closed   chan struct{}
@@ -159,12 +232,11 @@ func NewServerSharded(arr *shard.Array, opts Options) *Server {
 		opts.MaxLineBytes = DefaultMaxLineBytes
 	}
 	s := &Server{
-		arr:       arr,
-		start:     time.Now(),
-		opts:      opts,
-		closed:    make(chan struct{}),
-		conns:     make(map[net.Conn]struct{}),
-		shardReqs: make([]atomic.Int64, arr.Shards()),
+		arr:    arr,
+		start:  time.Now(),
+		opts:   opts,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	if opts.MaxConns > 0 {
 		s.sem = make(chan struct{}, opts.MaxConns)
@@ -344,18 +416,56 @@ func (s *Server) now() float64 {
 	}
 }
 
-// addDelay accumulates a delay into the float64 sum with a CAS loop.
-func (s *Server) addDelay(d float64) {
-	for {
-		old := s.delaySum.Load()
-		v := math.Float64frombits(old) + d
-		if s.delaySum.CompareAndSwap(old, math.Float64bits(v)) {
-			return
+// totals sums the striped request counters — the STATS/METRICS read side.
+// The request total is derived from the per-shard counters.
+func (s *Server) totals() (requests, delayed, rejected int64, delaySumMS float64) {
+	s.stripeMu.Lock()
+	defer s.stripeMu.Unlock()
+	for _, st := range s.stripes {
+		for j := range st.shard {
+			requests += st.shard[j].Load()
 		}
+		delayed += st.delayed.Load()
+		rejected += st.rejected.Load()
+		delaySumMS += math.Float64frombits(st.delaySum.Load())
 	}
+	return
 }
 
-func (s *Server) delaySumMS() float64 { return math.Float64frombits(s.delaySum.Load()) }
+// shardRequests sums one shard's striped request counter.
+func (s *Server) shardRequests(shard int) int64 {
+	s.stripeMu.Lock()
+	defer s.stripeMu.Unlock()
+	var n int64
+	for _, st := range s.stripes {
+		n += st.shard[shard].Load()
+	}
+	return n
+}
+
+// acquireStripe hands a counter stripe to a new connection — a reused one
+// from a closed connection when available (its counts carry over into the
+// server totals), otherwise a fresh one added to the registry.
+func (s *Server) acquireStripe() *stripe {
+	s.stripeMu.Lock()
+	defer s.stripeMu.Unlock()
+	if n := len(s.freeStripes); n > 0 {
+		st := s.freeStripes[n-1]
+		s.freeStripes = s.freeStripes[:n-1]
+		return st
+	}
+	st := &stripe{shard: make([]atomic.Int64, s.arr.Shards())}
+	s.stripes = append(s.stripes, st)
+	return st
+}
+
+// releaseStripe returns a connection's stripe for reuse. The counts are
+// kept — they are part of the server's running totals.
+func (s *Server) releaseStripe(st *stripe) {
+	s.stripeMu.Lock()
+	s.freeStripes = append(s.freeStripes, st)
+	s.stripeMu.Unlock()
+}
 
 // readLine reads one newline-terminated line of at most max bytes. An
 // over-long line is discarded through the next newline and reported via
@@ -402,10 +512,247 @@ func tooLongLen(buf []byte, max int) bool {
 	return n > max
 }
 
+// connReadBuf is the per-connection read-buffer size. Large enough that a
+// binary frame's header+payload usually sits in one fill (the zero-copy
+// path) and a pipelined burst of text lines batches into few reads.
+const connReadBuf = 32768
+
+// handle serves one connection: it sniffs the protocol from the first
+// byte (without consuming it) and hands off to the text or binary loop.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReaderSize(conn, 4096)
-	w := bufio.NewWriter(conn)
+	st := s.acquireStripe()
+	defer s.releaseStripe(st)
+	r := bufio.NewReaderSize(conn, connReadBuf)
+	if s.opts.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+	}
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.Magic {
+		if s.opts.Proto == ProtoText {
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			io.WriteString(conn, "ERR binary protocol disabled\n")
+			return
+		}
+		s.handleBinary(conn, r, st)
+		return
+	}
+	if s.opts.Proto == ProtoBinary {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		wr := wire.NewWriter(bufio.NewWriter(conn))
+		wr.WriteError(wire.Header{}, "text protocol disabled")
+		wr.Flush()
+		return
+	}
+	s.handleText(conn, r, st)
+}
+
+// submit runs one READ/WRITE through the shared dispatch core: virtual
+// arrival, shard routing, striped accounting, and the health monitor's
+// latency feed. Both protocol handlers call it.
+func (s *Server) submit(st *stripe, write bool, block int64, hasHealth bool) core.Outcome {
+	return s.submitAt(st, write, block, hasHealth, s.now())
+}
+
+// submitAt is submit with the caller supplying the arrival time. The
+// binary handler stamps one arrival per socket fill — frames drained from
+// a single read genuinely arrived together — which keeps the virtual clock
+// off the per-frame path.
+func (s *Server) submitAt(st *stripe, write bool, block int64, hasHealth bool, arrival float64) core.Outcome {
+	var out core.Outcome
+	if write {
+		out = s.arr.SubmitWrite(arrival, block)
+	} else {
+		out = s.arr.Submit(arrival, block)
+	}
+	bump(&st.shard[s.arr.ShardOf(block)])
+	if out.Rejected {
+		bump(&st.rejected)
+	} else {
+		if out.Delayed {
+			bump(&st.delayed)
+			st.addDelay(out.Delay)
+		}
+		if hasHealth {
+			// Feed the latency detector: the simulated array served the
+			// request in Response() ms on this device.
+			if m, local := s.monitorFor(out.Device); m != nil {
+				m.ReportSuccess(local, out.Response())
+			}
+		}
+	}
+	return out
+}
+
+// submitBatch admits simultaneous requests jointly (shard.Array.SubmitBatch
+// semantics) with the same accounting as submit.
+func (s *Server) submitBatch(st *stripe, blocks []int64, hasHealth bool) []core.Outcome {
+	outs := s.arr.SubmitBatch(s.now(), blocks)
+	for i, out := range outs {
+		bump(&st.shard[s.arr.ShardOf(blocks[i])])
+		if out.Rejected {
+			bump(&st.rejected)
+			continue
+		}
+		if out.Delayed {
+			bump(&st.delayed)
+			st.addDelay(out.Delay)
+		}
+		if hasHealth {
+			if m, local := s.monitorFor(out.Device); m != nil {
+				m.ReportSuccess(local, out.Response())
+			}
+		}
+	}
+	return outs
+}
+
+// adminFailRecover applies a FAIL/RECOVER admin verb to a valid global
+// device id and reports the device's new state plus the aggregate S'.
+// Callers validate the id range and health availability first.
+func (s *Server) adminFailRecover(fail bool, dev int) (state string, effectiveS int, err error) {
+	mon, local := s.monitorFor(dev)
+	if mon == nil {
+		return "", 0, fmt.Errorf("no health monitor for device %d", dev)
+	}
+	if fail {
+		err = mon.Fail(local)
+	} else {
+		err = mon.Recover(local)
+	}
+	if err != nil {
+		return "", 0, err
+	}
+	return fmt.Sprint(mon.State(local)), s.arr.EffectiveS(), nil
+}
+
+// healthTotals aggregates per-shard health counters (shards without a
+// monitor count as fully alive).
+func (s *Server) healthTotals() (alive, pending int, done int64) {
+	for i := 0; i < s.arr.Shards(); i++ {
+		mon := s.arr.Monitor(i)
+		if mon == nil {
+			alive += s.arr.DevicesPerShard()
+			continue
+		}
+		alive += mon.Mask().Alive
+		p, d := mon.RebuildProgress()
+		pending += p
+		done += d
+	}
+	return
+}
+
+// shardGauges snapshots the per-shard admission gauges (the binary form of
+// the METRICS shard series).
+func (s *Server) shardGauges(gs []wire.ShardGauge) []wire.ShardGauge {
+	gs = gs[:0]
+	for i := 0; i < s.arr.Shards(); i++ {
+		sys := s.arr.System(i)
+		alive := s.arr.DevicesPerShard()
+		if mon := s.arr.Monitor(i); mon != nil {
+			alive = mon.Mask().Alive
+		}
+		gs = append(gs, wire.ShardGauge{
+			S:          int32(sys.S()),
+			EffectiveS: int32(sys.EffectiveS()),
+			Alive:      int32(alive),
+			Requests:   s.shardRequests(i),
+			Q:          sys.Q(),
+		})
+	}
+	return gs
+}
+
+// appendMetrics renders the Prometheus-style exposition page into buf with
+// strconv appends — one buffer build, one write, no fmt on the scrape
+// path. The page excludes the blank-line terminator (the text handler
+// appends it; the binary handler frames the page as-is).
+func (s *Server) appendMetrics(buf []byte, hasHealth bool) []byte {
+	requests, delayed, rejected, delaySum := s.totals()
+	appendGaugeInt := func(buf []byte, name string, kind string, v int64) []byte {
+		buf = append(buf, "# TYPE "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, kind...)
+		buf = append(buf, '\n')
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, v, 10)
+		return append(buf, '\n')
+	}
+	buf = appendGaugeInt(buf, "flashqos_requests_total", "counter", requests)
+	buf = appendGaugeInt(buf, "flashqos_delayed_total", "counter", delayed)
+	buf = appendGaugeInt(buf, "flashqos_rejected_total", "counter", rejected)
+	buf = append(buf, "# TYPE flashqos_delay_ms_sum counter\nflashqos_delay_ms_sum "...)
+	buf = strconv.AppendFloat(buf, delaySum, 'f', 6, 64)
+	buf = append(buf, '\n')
+	buf = appendGaugeInt(buf, "flashqos_busy_rejected_total", "counter", s.busy.Load())
+	buf = appendGaugeInt(buf, "flashqos_admission_limit", "gauge", int64(s.arr.S()))
+	buf = appendGaugeInt(buf, "flashqos_admission_limit_effective", "gauge", int64(s.arr.EffectiveS()))
+	buf = append(buf, "# TYPE flashqos_q_estimate gauge\nflashqos_q_estimate "...)
+	buf = strconv.AppendFloat(buf, s.arr.Q(), 'f', 6, 64)
+	buf = append(buf, '\n')
+	buf = append(buf, "# TYPE flashqos_shard_q_estimate gauge\n"...)
+	for i := 0; i < s.arr.Shards(); i++ {
+		buf = append(buf, `flashqos_shard_q_estimate{shard="`...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendFloat(buf, s.arr.System(i).Q(), 'f', 6, 64)
+		buf = append(buf, '\n')
+	}
+	buf = appendGaugeInt(buf, "flashqos_shards", "gauge", int64(s.arr.Shards()))
+	buf = append(buf, "# TYPE flashqos_shard_requests_total counter\n"...)
+	for i := 0; i < s.arr.Shards(); i++ {
+		buf = append(buf, `flashqos_shard_requests_total{shard="`...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, s.shardRequests(i), 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "# TYPE flashqos_shard_admission_limit_effective gauge\n"...)
+	for i := 0; i < s.arr.Shards(); i++ {
+		buf = append(buf, `flashqos_shard_admission_limit_effective{shard="`...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, int64(s.arr.System(i).EffectiveS()), 10)
+		buf = append(buf, '\n')
+	}
+	if hasHealth {
+		alive, pending, done := s.healthTotals()
+		unavail, transitions := 0, int64(0)
+		for i := 0; i < s.arr.Shards(); i++ {
+			if mon := s.arr.Monitor(i); mon != nil {
+				unavail += mon.Mask().Unavailable()
+				transitions += mon.Transitions()
+			}
+		}
+		buf = appendGaugeInt(buf, "flashqos_devices_alive", "gauge", int64(alive))
+		buf = appendGaugeInt(buf, "flashqos_devices_unavailable", "gauge", int64(unavail))
+		buf = appendGaugeInt(buf, "flashqos_rebuild_pending", "gauge", int64(pending))
+		buf = appendGaugeInt(buf, "flashqos_rebuild_done_total", "counter", done)
+		buf = appendGaugeInt(buf, "flashqos_health_transitions_total", "counter", transitions)
+		buf = append(buf, "# TYPE flashqos_shard_devices_alive gauge\n"...)
+		for i := 0; i < s.arr.Shards(); i++ {
+			a := s.arr.DevicesPerShard()
+			if mon := s.arr.Monitor(i); mon != nil {
+				a = mon.Mask().Alive
+			}
+			buf = append(buf, `flashqos_shard_devices_alive{shard="`...)
+			buf = strconv.AppendInt(buf, int64(i), 10)
+			buf = append(buf, `"} `...)
+			buf = strconv.AppendInt(buf, int64(a), 10)
+			buf = append(buf, '\n')
+		}
+	}
+	return buf
+}
+
+func (s *Server) handleText(conn net.Conn, r *bufio.Reader, st *stripe) {
+	w := bufio.NewWriterSize(conn, connReadBuf)
 	scratch := make([]byte, 0, 128) // per-connection response buffer
 	hasHealth := s.anyHealth()      // monitors attach before serving
 	for {
@@ -439,30 +786,10 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad block: %v\n", err)
 				break
 			}
-			var out core.Outcome
-			if strings.ToUpper(fields[0]) == "WRITE" {
-				out = s.arr.SubmitWrite(s.now(), block)
-			} else {
-				out = s.arr.Submit(s.now(), block)
-			}
-			s.requests.Add(1)
-			s.shardReqs[s.arr.ShardOf(block)].Add(1)
-			if out.Rejected {
-				s.rejected.Add(1)
-			} else if out.Delayed {
-				s.delayed.Add(1)
-				s.addDelay(out.Delay)
-			}
+			out := s.submit(st, strings.ToUpper(fields[0]) == "WRITE", block, hasHealth)
 			if out.Rejected {
 				fmt.Fprintln(w, "REJECTED")
 			} else {
-				if hasHealth {
-					// Feed the latency detector: the simulated array served
-					// the request in Response() ms on this device.
-					if m, local := s.monitorFor(out.Device); m != nil {
-						m.ReportSuccess(local, out.Response())
-					}
-				}
 				scratch = appendOutcome(scratch[:0], out)
 				w.Write(scratch)
 			}
@@ -490,81 +817,19 @@ func (s *Server) handle(conn net.Conn) {
 			scratch = append(scratch, '\n')
 			w.Write(scratch)
 		case "STATS":
-			req, del, rej := s.requests.Load(), s.delayed.Load(), s.rejected.Load()
+			req, del, rej, sum := s.totals()
 			avg := 0.0
 			if del > 0 {
-				avg = s.delaySumMS() / float64(del)
+				avg = sum / float64(del)
 			}
 			fmt.Fprintf(w, "STATS %d %d %d %.6f\n", req, del, rej, avg)
 		case "METRICS":
-			fmt.Fprintf(w, "# TYPE flashqos_requests_total counter\n")
-			fmt.Fprintf(w, "flashqos_requests_total %d\n", s.requests.Load())
-			fmt.Fprintf(w, "# TYPE flashqos_delayed_total counter\n")
-			fmt.Fprintf(w, "flashqos_delayed_total %d\n", s.delayed.Load())
-			fmt.Fprintf(w, "# TYPE flashqos_rejected_total counter\n")
-			fmt.Fprintf(w, "flashqos_rejected_total %d\n", s.rejected.Load())
-			fmt.Fprintf(w, "# TYPE flashqos_delay_ms_sum counter\n")
-			fmt.Fprintf(w, "flashqos_delay_ms_sum %.6f\n", s.delaySumMS())
-			fmt.Fprintf(w, "# TYPE flashqos_busy_rejected_total counter\n")
-			fmt.Fprintf(w, "flashqos_busy_rejected_total %d\n", s.busy.Load())
-			fmt.Fprintf(w, "# TYPE flashqos_admission_limit gauge\n")
-			fmt.Fprintf(w, "flashqos_admission_limit %d\n", s.arr.S())
-			fmt.Fprintf(w, "# TYPE flashqos_admission_limit_effective gauge\n")
-			fmt.Fprintf(w, "flashqos_admission_limit_effective %d\n", s.arr.EffectiveS())
-			fmt.Fprintf(w, "# TYPE flashqos_q_estimate gauge\n")
-			fmt.Fprintf(w, "flashqos_q_estimate %.6f\n", s.arr.Q())
-			fmt.Fprintf(w, "# TYPE flashqos_shard_q_estimate gauge\n")
-			for i := 0; i < s.arr.Shards(); i++ {
-				fmt.Fprintf(w, "flashqos_shard_q_estimate{shard=\"%d\"} %.6f\n", i, s.arr.System(i).Q())
-			}
-			fmt.Fprintf(w, "# TYPE flashqos_shards gauge\n")
-			fmt.Fprintf(w, "flashqos_shards %d\n", s.arr.Shards())
-			fmt.Fprintf(w, "# TYPE flashqos_shard_requests_total counter\n")
-			for i := range s.shardReqs {
-				fmt.Fprintf(w, "flashqos_shard_requests_total{shard=\"%d\"} %d\n", i, s.shardReqs[i].Load())
-			}
-			fmt.Fprintf(w, "# TYPE flashqos_shard_admission_limit_effective gauge\n")
-			for i := 0; i < s.arr.Shards(); i++ {
-				fmt.Fprintf(w, "flashqos_shard_admission_limit_effective{shard=\"%d\"} %d\n",
-					i, s.arr.System(i).EffectiveS())
-			}
-			if hasHealth {
-				alive, unavail, pending, transitions := 0, 0, 0, int64(0)
-				var done int64
-				for i := 0; i < s.arr.Shards(); i++ {
-					mon := s.arr.Monitor(i)
-					if mon == nil {
-						alive += s.arr.DevicesPerShard()
-						continue
-					}
-					m := mon.Mask()
-					p, d := mon.RebuildProgress()
-					alive += m.Alive
-					unavail += m.Unavailable()
-					pending += p
-					done += d
-					transitions += mon.Transitions()
-				}
-				fmt.Fprintf(w, "# TYPE flashqos_devices_alive gauge\n")
-				fmt.Fprintf(w, "flashqos_devices_alive %d\n", alive)
-				fmt.Fprintf(w, "# TYPE flashqos_devices_unavailable gauge\n")
-				fmt.Fprintf(w, "flashqos_devices_unavailable %d\n", unavail)
-				fmt.Fprintf(w, "# TYPE flashqos_rebuild_pending gauge\n")
-				fmt.Fprintf(w, "flashqos_rebuild_pending %d\n", pending)
-				fmt.Fprintf(w, "# TYPE flashqos_rebuild_done_total counter\n")
-				fmt.Fprintf(w, "flashqos_rebuild_done_total %d\n", done)
-				fmt.Fprintf(w, "# TYPE flashqos_health_transitions_total counter\n")
-				fmt.Fprintf(w, "flashqos_health_transitions_total %d\n", transitions)
-				fmt.Fprintf(w, "# TYPE flashqos_shard_devices_alive gauge\n")
-				for i := 0; i < s.arr.Shards(); i++ {
-					a := s.arr.DevicesPerShard()
-					if mon := s.arr.Monitor(i); mon != nil {
-						a = mon.Mask().Alive
-					}
-					fmt.Fprintf(w, "flashqos_shard_devices_alive{shard=\"%d\"} %d\n", i, a)
-				}
-			}
-			fmt.Fprintln(w)
+			// One scratch build, one write: the scrape path stays off fmt
+			// and allocates nothing once the scratch has grown to the page
+			// size.
+			scratch = s.appendMetrics(scratch[:0], hasHealth)
+			scratch = append(scratch, '\n') // blank-line terminator
+			w.Write(scratch)
 		case "FAIL", "RECOVER":
 			verb := strings.ToUpper(fields[0])
 			if len(fields) != 2 {
@@ -580,39 +845,18 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "ERR bad device %q\n", fields[1])
 				break
 			}
-			mon, local := s.monitorFor(dev)
-			if mon == nil {
-				fmt.Fprintf(w, "ERR no health monitor for device %d\n", dev)
+			state, effS, aerr := s.adminFailRecover(verb == "FAIL", dev)
+			if aerr != nil {
+				fmt.Fprintf(w, "ERR %v\n", aerr)
 				break
 			}
-			if verb == "FAIL" {
-				err = mon.Fail(local)
-			} else {
-				err = mon.Recover(local)
-			}
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			fmt.Fprintf(w, "OK %s %d\n", mon.State(local), s.arr.EffectiveS())
+			fmt.Fprintf(w, "OK %s %d\n", state, effS)
 		case "HEALTH":
 			if !hasHealth {
 				fmt.Fprintln(w, "ERR no health monitor")
 				break
 			}
-			alive, pending := 0, 0
-			var done int64
-			for i := 0; i < s.arr.Shards(); i++ {
-				mon := s.arr.Monitor(i)
-				if mon == nil {
-					alive += s.arr.DevicesPerShard()
-					continue
-				}
-				alive += mon.Mask().Alive
-				p, d := mon.RebuildProgress()
-				pending += p
-				done += d
-			}
+			alive, pending, done := s.healthTotals()
 			fmt.Fprintf(w, "HEALTH devices=%d alive=%d s=%d s_full=%d rebuild_pending=%d rebuild_done=%d\n",
 				s.arr.Devices(), alive, s.arr.EffectiveS(), s.arr.S(), pending, done)
 			for g := 0; g < s.arr.Devices(); g++ {

@@ -134,12 +134,19 @@ func mix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// ShardOf returns the shard owning a data block.
-func (a *Array) ShardOf(block int64) int {
-	if len(a.systems) == 1 {
+// Route returns the partition owning block among n equal partitions — the
+// hash-partitioning rule shared by in-process sharding (ShardOf) and the
+// qosproxy router tier, so any layer can predict block placement.
+func Route(block int64, n int) int {
+	if n <= 1 {
 		return 0
 	}
-	return int(mix(uint64(block)) % uint64(len(a.systems)))
+	return int(mix(uint64(block)) % uint64(n))
+}
+
+// ShardOf returns the shard owning a data block.
+func (a *Array) ShardOf(block int64) int {
+	return Route(block, len(a.systems))
 }
 
 // Submit routes one block read to its owning shard. The outcome's Device

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary byte streams at the frame reader and
+// every composite payload parser: nothing may panic, every frame the
+// reader accepts must be internally consistent (echoed length matches the
+// returned payload, within the configured cap), and the parsers must
+// either reject garbage or return well-formed values.
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed frames.
+	f.Add(AppendFrame(nil, Header{Opcode: OpSubmit, ID: 1}, AppendBlock(nil, 42)))
+	f.Add(AppendFrame(nil, Header{Opcode: OpStats, ID: 2}, nil))
+	f.Add(AppendFrame(nil, Header{Opcode: OpSubmit, ID: 3, Flags: FlagError}, []byte("boom")))
+	two := AppendFrame(nil, Header{Opcode: OpSubmit, ID: 4}, AppendBlock(nil, 1))
+	f.Add(AppendFrame(two, Header{Opcode: OpWrite, ID: 5}, AppendBlock(nil, 2)))
+	// Malformed: bad magic, bad version, truncated header, truncated
+	// payload, oversized length, ID reuse back to back.
+	f.Add([]byte{'R', 'E', 'A', 'D', ' ', '4', '2', '\n'})
+	f.Add([]byte{Magic, Version + 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{Magic, Version, OpSubmit})
+	f.Add(AppendHeader(nil, Header{Opcode: OpSubmit, ID: 6, Len: 8})[:HeaderSize])
+	f.Add(AppendHeader(nil, Header{Opcode: OpSubmit, ID: 7, Len: 1 << 31}))
+	dup := AppendFrame(nil, Header{Opcode: OpSubmit, ID: 8}, AppendBlock(nil, 1))
+	f.Add(AppendFrame(dup, Header{Opcode: OpSubmit, ID: 8}, AppendBlock(nil, 2)))
+	// Batch with a lying count.
+	lie := AppendUint32(nil, 1<<30)
+	f.Add(AppendFrame(nil, Header{Opcode: OpBatch, ID: 9}, lie))
+
+	const maxPayload = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bufio.NewReaderSize(bytes.NewReader(data), 512), maxPayload)
+		for {
+			h, payload, err := rd.Next()
+			if err != nil {
+				return
+			}
+			if int(h.Len) != len(payload) {
+				t.Fatalf("header Len %d != payload %d", h.Len, len(payload))
+			}
+			if h.Len > maxPayload {
+				t.Fatalf("accepted payload of %d bytes past the %d cap", h.Len, maxPayload)
+			}
+			// Every composite parser must survive an arbitrary payload.
+			ParseBlock(payload)
+			if o, _, err := ParseOutcome(payload); err == nil {
+				_ = o.Delayed() || o.Rejected() || o.Unavailable()
+			}
+			if bs, err := ParseBatchReq(payload, nil); err == nil && uint64(len(bs))*8+4 != uint64(len(payload)) {
+				t.Fatalf("batch req parsed %d blocks from %d bytes", len(bs), len(payload))
+			}
+			ParseBatchResp(payload, nil)
+			ParseStats(payload)
+			ParseDevice(payload)
+			ParseAdminResp(payload)
+			ParseMapResp(payload)
+			if hh, err := ParseHealth(payload); err == nil {
+				for _, d := range hh.States {
+					if len(d.State) > 255 {
+						t.Fatalf("health state of %d bytes", len(d.State))
+					}
+				}
+			}
+			ParseShardStats(payload)
+		}
+	})
+}

@@ -1,0 +1,738 @@
+// Package wire implements the length-prefixed binary framing layer of the
+// qosnet protocol: a fixed 16-byte header (magic, version, opcode, flags,
+// request ID, payload length — all integer fields little-endian) followed
+// by an opcode-specific payload. Request IDs let one connection carry many
+// in-flight requests with out-of-order completion: the server echoes the
+// ID of the request a response answers, and a response carrying FlagError
+// holds a UTF-8 message instead of the opcode's payload.
+//
+// Frame layout (offsets in bytes):
+//
+//	[0]      magic    0xFB
+//	[1]      version  1
+//	[2]      opcode   Op*
+//	[3]      flags    bit 0 = FlagError (response payload is an error message)
+//	[4:12]   id       uint64 LE, chosen by the requester, echoed by the responder
+//	[12:16]  len      uint32 LE, payload byte count
+//
+// The hot path allocates nothing: headers encode into caller buffers or a
+// Writer's fixed scratch array, Reader returns payload slices that alias
+// its internal buffer (valid until the next call), and composite payloads
+// build with append-style codecs (Append*/Parse*) so steady-state encode
+// and decode run at 0 allocs/op. Buffers that must outlive a Reader call —
+// async completions, proxy forwarding — come from a sync.Pool (GetBuffer /
+// PutBuffer).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Framing constants.
+const (
+	Magic      = 0xFB // first byte of every frame; no text verb starts with it
+	Version    = 1
+	HeaderSize = 16
+
+	// DefaultMaxPayload caps the payload length a Reader accepts. A header
+	// announcing more is a protocol violation (the stream cannot be
+	// resynchronized and must be closed).
+	DefaultMaxPayload = 1 << 20
+)
+
+// Opcodes. Requests and their responses carry the same opcode; error
+// responses additionally set FlagError.
+const (
+	OpSubmit     = 0x01 // block read (text READ)
+	OpWrite      = 0x02 // block write, updates all replicas (text WRITE)
+	OpBatch      = 0x03 // joint admission of simultaneous reads
+	OpMap        = 0x04 // block → design block + replica devices (text MAP)
+	OpStats      = 0x05 // server counters (text STATS)
+	OpMetrics    = 0x06 // Prometheus-style exposition text (text METRICS)
+	OpFail       = 0x07 // admin: take a device out of service (text FAIL)
+	OpRecover    = 0x08 // admin: bring a device back (text RECOVER)
+	OpHealth     = 0x09 // device-health report (text HEALTH)
+	OpShardStats = 0x0A // per-shard admission gauges (the METRICS shard series)
+	OpQuit       = 0x0F // close the connection (text QUIT); no response
+)
+
+// Flags.
+const (
+	FlagError = 0x01 // response payload is a UTF-8 error message
+)
+
+// Outcome status bits (Outcome.Status).
+const (
+	StatusDelayed     = 0x01
+	StatusRejected    = 0x02
+	StatusUnavailable = 0x04
+)
+
+// Framing errors.
+var (
+	ErrBadMagic        = errors.New("wire: bad magic byte")
+	ErrBadVersion      = errors.New("wire: unsupported protocol version")
+	ErrPayloadTooLarge = errors.New("wire: payload length exceeds limit")
+	ErrShortPayload    = errors.New("wire: payload too short for opcode")
+)
+
+// Header is a decoded frame header. Len is the payload byte count; writers
+// derive it from the payload, so callers rarely set it themselves.
+type Header struct {
+	Opcode uint8
+	Flags  uint8
+	ID     uint64
+	Len    uint32
+}
+
+// PutHeader encodes h into b, which must hold at least HeaderSize bytes.
+func PutHeader(b []byte, h Header) {
+	_ = b[HeaderSize-1]
+	b[0] = Magic
+	b[1] = Version
+	b[2] = h.Opcode
+	b[3] = h.Flags
+	binary.LittleEndian.PutUint64(b[4:12], h.ID)
+	binary.LittleEndian.PutUint32(b[12:16], h.Len)
+}
+
+// AppendHeader appends the encoded header to buf.
+func AppendHeader(buf []byte, h Header) []byte {
+	var b [HeaderSize]byte
+	PutHeader(b[:], h)
+	return append(buf, b[:]...)
+}
+
+// ParseHeader decodes a frame header, validating magic and version. The
+// payload-length cap is the Reader's to enforce (it knows its limit).
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("wire: short header (%d bytes)", len(b))
+	}
+	if b[0] != Magic {
+		return Header{}, ErrBadMagic
+	}
+	if b[1] != Version {
+		return Header{}, ErrBadVersion
+	}
+	return Header{
+		Opcode: b[2],
+		Flags:  b[3],
+		ID:     binary.LittleEndian.Uint64(b[4:12]),
+		Len:    binary.LittleEndian.Uint32(b[12:16]),
+	}, nil
+}
+
+// AppendFrame appends a complete frame (header + payload) to buf, deriving
+// the header's Len from the payload.
+func AppendFrame(buf []byte, h Header, payload []byte) []byte {
+	h.Len = uint32(len(payload))
+	buf = AppendHeader(buf, h)
+	return append(buf, payload...)
+}
+
+// Buffer pool for payloads that must outlive a Reader.Next call (async
+// completion hand-off, proxy forwarding). Pointers to slices avoid the
+// interface-boxing allocation on Put.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuffer returns a pooled byte slice, length 0. Grow with append;
+// return with PutBuffer when done.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool.
+func PutBuffer(b *[]byte) { bufPool.Put(b) }
+
+// Reader decodes frames from a buffered stream. The payload slice returned
+// by Next aliases the Reader's internal buffer and is valid only until the
+// following Next call — copy (e.g. into a GetBuffer slice) to retain it.
+type Reader struct {
+	r    *bufio.Reader
+	max  uint32
+	buf  []byte // spill buffer for payloads larger than the bufio window
+	more bool   // set by Next: another complete frame is already buffered
+}
+
+// NewReader wraps a buffered stream. maxPayload <= 0 selects
+// DefaultMaxPayload.
+func NewReader(r *bufio.Reader, maxPayload int) *Reader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &Reader{r: r, max: uint32(maxPayload)}
+}
+
+// Next reads one frame. Small payloads are returned zero-copy as a slice
+// into the bufio buffer (Peek + Discard); larger ones are read into a
+// reused spill buffer. Steady state allocates nothing.
+func (rd *Reader) Next() (Header, []byte, error) {
+	// Fast path: when a complete frame is already buffered — the common
+	// case under pipelining, where one socket fill delivers a burst of
+	// small frames — a single Peek over the buffered bytes frames it with
+	// no fill and no second Peek.
+	if n := rd.r.Buffered(); n >= HeaderSize {
+		b, perr := rd.r.Peek(n)
+		if perr == nil {
+			h, err := ParseHeader(b)
+			if err != nil {
+				return Header{}, nil, err
+			}
+			if h.Len > rd.max {
+				return Header{}, nil, ErrPayloadTooLarge
+			}
+			if total := HeaderSize + int(h.Len); total <= n {
+				// Discard only moves the read pointer; the peeked bytes
+				// stay valid until the next fill, i.e. the next Next call.
+				rd.r.Discard(total)
+				rd.more = frameBuffered(b[total:])
+				if h.Len == 0 {
+					return h, nil, nil
+				}
+				return h, b[HeaderSize:total], nil
+			}
+			// Payload not fully buffered yet: fall through to the filling
+			// path (it re-validates the header, which cannot now fail).
+		}
+	}
+	hb, err := rd.r.Peek(HeaderSize)
+	if err != nil {
+		if err == io.EOF && rd.r.Buffered() == 0 {
+			return Header{}, nil, io.EOF
+		}
+		if err == io.EOF {
+			return Header{}, nil, io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, err
+	}
+	h, err := ParseHeader(hb)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.Len > rd.max {
+		return Header{}, nil, ErrPayloadTooLarge
+	}
+	n := int(h.Len)
+	if n == 0 {
+		rd.r.Discard(HeaderSize)
+		rd.computeMore()
+		return h, nil, nil
+	}
+	if HeaderSize+n <= rd.r.Size() {
+		full, err := rd.r.Peek(HeaderSize + n)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Header{}, nil, err
+		}
+		// Discard only moves the read pointer; the peeked bytes stay valid
+		// until the next fill, i.e. until the next Next call.
+		rd.r.Discard(HeaderSize + n)
+		rd.computeMore()
+		return h, full[HeaderSize:], nil
+	}
+	rd.r.Discard(HeaderSize)
+	if cap(rd.buf) < n {
+		rd.buf = make([]byte, n)
+	}
+	buf := rd.buf[:n]
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, err
+	}
+	rd.computeMore()
+	return h, buf, nil
+}
+
+// frameBuffered reports whether b starts with a complete frame. A
+// malformed header counts: the next Next call will fail on it without
+// blocking, which is the property More's callers rely on.
+func frameBuffered(b []byte) bool {
+	if len(b) < HeaderSize {
+		return false
+	}
+	h, err := ParseHeader(b)
+	if err != nil {
+		return true
+	}
+	return uint64(len(b)) >= HeaderSize+uint64(h.Len)
+}
+
+// computeMore refreshes the More flag from the bytes currently buffered —
+// the non-fast-path variant that must re-Peek.
+func (rd *Reader) computeMore() {
+	n := rd.r.Buffered()
+	if n < HeaderSize {
+		rd.more = false
+		return
+	}
+	b, err := rd.r.Peek(n)
+	rd.more = err == nil && frameBuffered(b)
+}
+
+// More reports whether the bytes already buffered when Next last returned
+// held another complete frame (or a malformed header the next Next will
+// fail on without blocking). Servers use it to gate response flushing: a
+// flush is needed only when the following Next may block on the network.
+// A buffered partial frame reads as false — the next call could block
+// waiting for its remainder.
+func (rd *Reader) More() bool { return rd.more }
+
+// Writer encodes frames onto a buffered stream. Not safe for concurrent
+// use; callers own flushing policy (Flush).
+type Writer struct {
+	w   *bufio.Writer
+	hdr [HeaderSize]byte
+}
+
+// NewWriter wraps a buffered stream.
+func NewWriter(w *bufio.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame writes one frame, deriving the header's Len from payload.
+// The bytes may sit in the bufio buffer until Flush.
+func (wr *Writer) WriteFrame(h Header, payload []byte) error {
+	h.Len = uint32(len(payload))
+	PutHeader(wr.hdr[:], h)
+	if _, err := wr.w.Write(wr.hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(payload)
+	return err
+}
+
+// WriteOutcome writes a SUBMIT/WRITE completion frame: header plus the
+// 21-byte outcome encode into one stack buffer and hit the stream as a
+// single buffered write.
+func (wr *Writer) WriteOutcome(h Header, o Outcome) error {
+	var b [HeaderSize + OutcomeSize]byte
+	h.Len = OutcomeSize
+	PutHeader(b[:], h)
+	AppendOutcome(b[:HeaderSize], o) // appends in place: cap(b) is exact
+	_, err := wr.w.Write(b[:])
+	return err
+}
+
+// WriteError writes an error response: the request's opcode and ID with
+// FlagError set and the message as payload.
+func (wr *Writer) WriteError(h Header, msg string) error {
+	h.Flags |= FlagError
+	h.Len = uint32(len(msg))
+	PutHeader(wr.hdr[:], h)
+	if _, err := wr.w.Write(wr.hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.WriteString(msg)
+	return err
+}
+
+// Flush flushes the underlying bufio writer.
+func (wr *Writer) Flush() error { return wr.w.Flush() }
+
+// ---- primitive append/parse helpers (little-endian) ----
+
+// AppendUint32 appends v little-endian.
+func AppendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendUint64 appends v little-endian.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendInt32 appends v little-endian (two's complement).
+func AppendInt32(buf []byte, v int32) []byte { return AppendUint32(buf, uint32(v)) }
+
+// AppendInt64 appends v little-endian (two's complement).
+func AppendInt64(buf []byte, v int64) []byte { return AppendUint64(buf, uint64(v)) }
+
+// AppendFloat64 appends v as its IEEE-754 bits, little-endian.
+func AppendFloat64(buf []byte, v float64) []byte {
+	return AppendUint64(buf, math.Float64bits(v))
+}
+
+func parseU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, b, ErrShortPayload
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func parseU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, ErrShortPayload
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+func parseF64(b []byte) (float64, []byte, error) {
+	u, rest, err := parseU64(b)
+	return math.Float64frombits(u), rest, err
+}
+
+// ---- verb payload codecs ----
+
+// Outcome is a SUBMIT/WRITE completion: the wire form of a core.Outcome.
+// Encoded as device int32, delay float64, response float64, status byte
+// (21 bytes). A rejected outcome carries device -1.
+type Outcome struct {
+	Device  int32
+	DelayMS float64
+	RespMS  float64
+	Status  uint8
+}
+
+// OutcomeSize is the encoded size of one Outcome.
+const OutcomeSize = 21
+
+// Delayed reports the StatusDelayed bit.
+func (o Outcome) Delayed() bool { return o.Status&StatusDelayed != 0 }
+
+// Rejected reports the StatusRejected bit.
+func (o Outcome) Rejected() bool { return o.Status&StatusRejected != 0 }
+
+// Unavailable reports the StatusUnavailable bit.
+func (o Outcome) Unavailable() bool { return o.Status&StatusUnavailable != 0 }
+
+// AppendOutcome appends the 21-byte encoding of o.
+func AppendOutcome(buf []byte, o Outcome) []byte {
+	buf = AppendInt32(buf, o.Device)
+	buf = AppendFloat64(buf, o.DelayMS)
+	buf = AppendFloat64(buf, o.RespMS)
+	return append(buf, o.Status)
+}
+
+// ParseOutcome decodes one Outcome, returning the remaining bytes.
+func ParseOutcome(b []byte) (Outcome, []byte, error) {
+	if len(b) < OutcomeSize {
+		return Outcome{}, b, ErrShortPayload
+	}
+	o := Outcome{
+		Device:  int32(binary.LittleEndian.Uint32(b)),
+		DelayMS: math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+		RespMS:  math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+		Status:  b[20],
+	}
+	return o, b[OutcomeSize:], nil
+}
+
+// AppendBlock appends a SUBMIT/WRITE/MAP request payload (one block id).
+func AppendBlock(buf []byte, block int64) []byte { return AppendInt64(buf, block) }
+
+// ParseBlock decodes a SUBMIT/WRITE/MAP request payload.
+func ParseBlock(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, ErrShortPayload
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// AppendBatchReq appends a BATCH request payload: count + block ids.
+func AppendBatchReq(buf []byte, blocks []int64) []byte {
+	buf = AppendUint32(buf, uint32(len(blocks)))
+	for _, b := range blocks {
+		buf = AppendInt64(buf, b)
+	}
+	return buf
+}
+
+// ParseBatchReq decodes a BATCH request payload into dst (reused when
+// capacity allows). The declared count must exactly match the payload.
+func ParseBatchReq(b []byte, dst []int64) ([]int64, error) {
+	n, b, err := parseU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) != uint64(n)*8 {
+		return nil, ErrShortPayload
+	}
+	dst = dst[:0]
+	for i := uint32(0); i < n; i++ {
+		dst = append(dst, int64(binary.LittleEndian.Uint64(b[i*8:])))
+	}
+	return dst, nil
+}
+
+// AppendBatchResp appends a BATCH response payload: count + outcomes.
+func AppendBatchResp(buf []byte, outs []Outcome) []byte {
+	buf = AppendUint32(buf, uint32(len(outs)))
+	for _, o := range outs {
+		buf = AppendOutcome(buf, o)
+	}
+	return buf
+}
+
+// ParseBatchResp decodes a BATCH response payload into dst.
+func ParseBatchResp(b []byte, dst []Outcome) ([]Outcome, error) {
+	n, b, err := parseU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) != uint64(n)*OutcomeSize {
+		return nil, ErrShortPayload
+	}
+	dst = dst[:0]
+	for i := uint32(0); i < n; i++ {
+		o, _, err := ParseOutcome(b[int(i)*OutcomeSize:])
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, o)
+	}
+	return dst, nil
+}
+
+// Stats is a STATS response payload (32 bytes).
+type Stats struct {
+	Requests   int64
+	Delayed    int64
+	Rejected   int64
+	AvgDelayMS float64
+}
+
+// AppendStats appends the encoding of st.
+func AppendStats(buf []byte, st Stats) []byte {
+	buf = AppendInt64(buf, st.Requests)
+	buf = AppendInt64(buf, st.Delayed)
+	buf = AppendInt64(buf, st.Rejected)
+	return AppendFloat64(buf, st.AvgDelayMS)
+}
+
+// ParseStats decodes a STATS response payload.
+func ParseStats(b []byte) (Stats, error) {
+	if len(b) != 32 {
+		return Stats{}, ErrShortPayload
+	}
+	return Stats{
+		Requests:   int64(binary.LittleEndian.Uint64(b)),
+		Delayed:    int64(binary.LittleEndian.Uint64(b[8:])),
+		Rejected:   int64(binary.LittleEndian.Uint64(b[16:])),
+		AvgDelayMS: math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+	}, nil
+}
+
+// AppendDevice appends a FAIL/RECOVER request payload (one device id).
+func AppendDevice(buf []byte, device uint32) []byte { return AppendUint32(buf, device) }
+
+// ParseDevice decodes a FAIL/RECOVER request payload.
+func ParseDevice(b []byte) (uint32, error) {
+	if len(b) != 4 {
+		return 0, ErrShortPayload
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// AdminResp is a FAIL/RECOVER response: the device's new state and the
+// array's effective admission limit S'. Encoded as effS int32 followed by
+// the state string (rest of payload).
+type AdminResp struct {
+	EffectiveS int32
+	State      string
+}
+
+// AppendAdminResp appends the encoding of a.
+func AppendAdminResp(buf []byte, a AdminResp) []byte {
+	buf = AppendInt32(buf, a.EffectiveS)
+	return append(buf, a.State...)
+}
+
+// ParseAdminResp decodes a FAIL/RECOVER response payload.
+func ParseAdminResp(b []byte) (AdminResp, error) {
+	if len(b) < 4 {
+		return AdminResp{}, ErrShortPayload
+	}
+	return AdminResp{
+		EffectiveS: int32(binary.LittleEndian.Uint32(b)),
+		State:      string(b[4:]),
+	}, nil
+}
+
+// MapResp is a MAP response: the design block and replica devices.
+type MapResp struct {
+	DesignBlock int32
+	Devices     []int32
+}
+
+// AppendMapResp appends the encoding of m: designBlock int32, count
+// uint16, devices int32 each.
+func AppendMapResp(buf []byte, m MapResp) []byte {
+	buf = AppendInt32(buf, m.DesignBlock)
+	buf = append(buf, byte(len(m.Devices)), byte(len(m.Devices)>>8))
+	for _, d := range m.Devices {
+		buf = AppendInt32(buf, d)
+	}
+	return buf
+}
+
+// ParseMapResp decodes a MAP response payload.
+func ParseMapResp(b []byte) (MapResp, error) {
+	if len(b) < 6 {
+		return MapResp{}, ErrShortPayload
+	}
+	m := MapResp{DesignBlock: int32(binary.LittleEndian.Uint32(b))}
+	n := int(b[4]) | int(b[5])<<8
+	b = b[6:]
+	if len(b) != n*4 {
+		return MapResp{}, ErrShortPayload
+	}
+	m.Devices = make([]int32, n)
+	for i := range m.Devices {
+		m.Devices[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return m, nil
+}
+
+// DeviceHealth is one device's entry in a HEALTH response.
+type DeviceHealth struct {
+	Device int32
+	EWMAMS float64
+	State  string
+}
+
+// Health is a HEALTH response payload.
+type Health struct {
+	Devices        int32
+	Alive          int32
+	EffectiveS     int32
+	FullS          int32
+	RebuildPending int32
+	RebuildDone    int64
+	States         []DeviceHealth
+}
+
+// AppendHealth appends the encoding of h: six summary integers, a device
+// count, then per device (id int32, ewma float64, state length byte,
+// state bytes).
+func AppendHealth(buf []byte, h Health) []byte {
+	buf = AppendInt32(buf, h.Devices)
+	buf = AppendInt32(buf, h.Alive)
+	buf = AppendInt32(buf, h.EffectiveS)
+	buf = AppendInt32(buf, h.FullS)
+	buf = AppendInt32(buf, h.RebuildPending)
+	buf = AppendInt64(buf, h.RebuildDone)
+	buf = AppendUint32(buf, uint32(len(h.States)))
+	for _, d := range h.States {
+		buf = AppendInt32(buf, d.Device)
+		buf = AppendFloat64(buf, d.EWMAMS)
+		if len(d.State) > 255 {
+			d.State = d.State[:255]
+		}
+		buf = append(buf, byte(len(d.State)))
+		buf = append(buf, d.State...)
+	}
+	return buf
+}
+
+// ParseHealth decodes a HEALTH response payload.
+func ParseHealth(b []byte) (Health, error) {
+	var h Health
+	var err error
+	var u uint32
+	for _, dst := range []*int32{&h.Devices, &h.Alive, &h.EffectiveS, &h.FullS, &h.RebuildPending} {
+		if u, b, err = parseU32(b); err != nil {
+			return Health{}, err
+		}
+		*dst = int32(u)
+	}
+	var done uint64
+	if done, b, err = parseU64(b); err != nil {
+		return Health{}, err
+	}
+	h.RebuildDone = int64(done)
+	var n uint32
+	if n, b, err = parseU32(b); err != nil {
+		return Health{}, err
+	}
+	if uint64(n) > uint64(len(b)) { // each entry is at least 13 bytes
+		return Health{}, ErrShortPayload
+	}
+	h.States = make([]DeviceHealth, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var d DeviceHealth
+		if u, b, err = parseU32(b); err != nil {
+			return Health{}, err
+		}
+		d.Device = int32(u)
+		if d.EWMAMS, b, err = parseF64(b); err != nil {
+			return Health{}, err
+		}
+		if len(b) < 1 {
+			return Health{}, ErrShortPayload
+		}
+		sl := int(b[0])
+		b = b[1:]
+		if len(b) < sl {
+			return Health{}, ErrShortPayload
+		}
+		d.State = string(b[:sl])
+		b = b[sl:]
+		h.States = append(h.States, d)
+	}
+	if len(b) != 0 {
+		return Health{}, fmt.Errorf("wire: %d trailing bytes after HEALTH payload", len(b))
+	}
+	return h, nil
+}
+
+// ShardGauge is one shard's slice of an OpShardStats response — the binary
+// form of the per-shard METRICS series.
+type ShardGauge struct {
+	S          int32
+	EffectiveS int32
+	Alive      int32
+	Requests   int64
+	Q          float64
+}
+
+// shardGaugeSize is the encoded size of one ShardGauge.
+const shardGaugeSize = 28
+
+// AppendShardStats appends an OpShardStats response payload: a count, then
+// per shard (S int32, effS int32, alive int32, requests int64, q float64).
+func AppendShardStats(buf []byte, gauges []ShardGauge) []byte {
+	buf = AppendUint32(buf, uint32(len(gauges)))
+	for _, g := range gauges {
+		buf = AppendInt32(buf, g.S)
+		buf = AppendInt32(buf, g.EffectiveS)
+		buf = AppendInt32(buf, g.Alive)
+		buf = AppendInt64(buf, g.Requests)
+		buf = AppendFloat64(buf, g.Q)
+	}
+	return buf
+}
+
+// ParseShardStats decodes an OpShardStats response payload.
+func ParseShardStats(b []byte) ([]ShardGauge, error) {
+	n, b, err := parseU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) != uint64(n)*shardGaugeSize {
+		return nil, ErrShortPayload
+	}
+	gs := make([]ShardGauge, n)
+	for i := range gs {
+		o := i * shardGaugeSize
+		gs[i] = ShardGauge{
+			S:          int32(binary.LittleEndian.Uint32(b[o:])),
+			EffectiveS: int32(binary.LittleEndian.Uint32(b[o+4:])),
+			Alive:      int32(binary.LittleEndian.Uint32(b[o+8:])),
+			Requests:   int64(binary.LittleEndian.Uint64(b[o+12:])),
+			Q:          math.Float64frombits(binary.LittleEndian.Uint64(b[o+20:])),
+		}
+	}
+	return gs, nil
+}

@@ -1,0 +1,387 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []Header{
+		{},
+		{Opcode: OpSubmit, ID: 1, Len: 8},
+		{Opcode: OpQuit, Flags: FlagError, ID: math.MaxUint64, Len: math.MaxUint32},
+		{Opcode: 0xFF, Flags: 0xFF, ID: 0xdeadbeefcafebabe, Len: 12345},
+	}
+	for _, h := range cases {
+		var b [HeaderSize]byte
+		PutHeader(b[:], h)
+		if b[0] != Magic || b[1] != Version {
+			t.Fatalf("PutHeader(%+v): magic/version bytes = %x %x", h, b[0], b[1])
+		}
+		got, err := ParseHeader(b[:])
+		if err != nil {
+			t.Fatalf("ParseHeader(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Errorf("round trip: got %+v, want %+v", got, h)
+		}
+		if app := AppendHeader(nil, h); !bytes.Equal(app, b[:]) {
+			t.Errorf("AppendHeader differs from PutHeader: %x vs %x", app, b)
+		}
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	var b [HeaderSize]byte
+	PutHeader(b[:], Header{Opcode: OpStats})
+	if _, err := ParseHeader(b[:HeaderSize-1]); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := b
+	bad[0] = 'R' // text protocol byte
+	if _, err := ParseHeader(bad[:]); err != ErrBadMagic {
+		t.Errorf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	bad = b
+	bad[1] = Version + 1
+	if _, err := ParseHeader(bad[:]); err != ErrBadVersion {
+		t.Errorf("bad version: got %v, want ErrBadVersion", err)
+	}
+}
+
+// TestReaderWriterRoundTrip streams a mix of frame shapes — empty, small
+// (zero-copy path), and larger than the bufio window (spill path) —
+// through a Writer/Reader pair.
+func TestReaderWriterRoundTrip(t *testing.T) {
+	var net bytes.Buffer
+	bw := bufio.NewWriter(&net)
+	wr := NewWriter(bw)
+
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 100),
+		bytes.Repeat([]byte{0xCD}, 5000), // > the 256-byte reader window below
+	}
+	for i, p := range payloads {
+		if err := wr.WriteFrame(Header{Opcode: uint8(i + 1), ID: uint64(i) * 7}, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := NewReader(bufio.NewReaderSize(&net, 256), 0)
+	for i, want := range payloads {
+		h, got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h.Opcode != uint8(i+1) || h.ID != uint64(i)*7 || int(h.Len) != len(want) {
+			t.Errorf("frame %d: header %+v", i, h)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+	if _, _, err := rd.Next(); err != io.EOF {
+		t.Errorf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	frame := AppendFrame(nil, Header{Opcode: OpSubmit, ID: 9}, []byte("12345678"))
+	for cut := 1; cut < len(frame); cut++ {
+		rd := NewReader(bufio.NewReader(bytes.NewReader(frame[:cut])), 0)
+		if _, _, err := rd.Next(); err == nil {
+			t.Errorf("truncated frame at %d bytes: no error", cut)
+		} else if err == io.EOF {
+			t.Errorf("truncated frame at %d bytes: plain EOF (want ErrUnexpectedEOF or parse error)", cut)
+		}
+	}
+}
+
+func TestReaderOversizedPayload(t *testing.T) {
+	frame := AppendHeader(nil, Header{Opcode: OpSubmit, Len: 1 << 30})
+	rd := NewReader(bufio.NewReader(bytes.NewReader(frame)), 1024)
+	if _, _, err := rd.Next(); err != ErrPayloadTooLarge {
+		t.Errorf("got %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestWriteError(t *testing.T) {
+	var net bytes.Buffer
+	bw := bufio.NewWriter(&net)
+	wr := NewWriter(bw)
+	if err := wr.WriteError(Header{Opcode: OpFail, ID: 3}, "no health monitor"); err != nil {
+		t.Fatal(err)
+	}
+	wr.Flush()
+	rd := NewReader(bufio.NewReader(&net), 0)
+	h, p, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Flags&FlagError == 0 || h.ID != 3 || h.Opcode != OpFail {
+		t.Errorf("error frame header %+v", h)
+	}
+	if string(p) != "no health monitor" {
+		t.Errorf("error payload %q", p)
+	}
+}
+
+func TestOutcomeCodec(t *testing.T) {
+	cases := []Outcome{
+		{Device: 4, DelayMS: 0, RespMS: 0.132507},
+		{Device: 17, DelayMS: 1.25, RespMS: 2.5, Status: StatusDelayed},
+		{Device: -1, Status: StatusRejected | StatusUnavailable},
+	}
+	for _, o := range cases {
+		b := AppendOutcome(nil, o)
+		if len(b) != OutcomeSize {
+			t.Fatalf("encoded size %d, want %d", len(b), OutcomeSize)
+		}
+		got, rest, err := ParseOutcome(b)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("ParseOutcome: %v, %d rest", err, len(rest))
+		}
+		if got != o {
+			t.Errorf("round trip: got %+v, want %+v", got, o)
+		}
+	}
+	if _, _, err := ParseOutcome(make([]byte, OutcomeSize-1)); err != ErrShortPayload {
+		t.Errorf("short outcome: %v", err)
+	}
+	o := Outcome{Status: StatusDelayed}
+	if !o.Delayed() || o.Rejected() || o.Unavailable() {
+		t.Error("status bit accessors wrong")
+	}
+}
+
+func TestBlockAndBatchCodec(t *testing.T) {
+	b := AppendBlock(nil, -42)
+	if v, err := ParseBlock(b); err != nil || v != -42 {
+		t.Errorf("block round trip: %d, %v", v, err)
+	}
+	if _, err := ParseBlock(b[:7]); err == nil {
+		t.Error("short block accepted")
+	}
+	if _, err := ParseBlock(append(b, 0)); err == nil {
+		t.Error("long block accepted")
+	}
+
+	blocks := []int64{1, -5, 1 << 40, 0}
+	req := AppendBatchReq(nil, blocks)
+	got, err := ParseBatchReq(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		if got[i] != blocks[i] {
+			t.Errorf("batch req [%d] = %d, want %d", i, got[i], blocks[i])
+		}
+	}
+	if _, err := ParseBatchReq(req[:len(req)-1], nil); err == nil {
+		t.Error("truncated batch req accepted")
+	}
+	// A count that disagrees with the payload length must not be trusted.
+	lie := AppendUint32(nil, 1000)
+	lie = AppendInt64(lie, 7)
+	if _, err := ParseBatchReq(lie, nil); err == nil {
+		t.Error("batch req with lying count accepted")
+	}
+
+	outs := []Outcome{{Device: 1}, {Device: 2, Status: StatusRejected}}
+	resp := AppendBatchResp(nil, outs)
+	gotOuts, err := ParseBatchResp(resp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if gotOuts[i] != outs[i] {
+			t.Errorf("batch resp [%d] = %+v, want %+v", i, gotOuts[i], outs[i])
+		}
+	}
+}
+
+func TestStatsAdminMapCodecs(t *testing.T) {
+	st := Stats{Requests: 100, Delayed: 10, Rejected: 1, AvgDelayMS: 0.5}
+	got, err := ParseStats(AppendStats(nil, st))
+	if err != nil || got != st {
+		t.Errorf("stats round trip: %+v, %v", got, err)
+	}
+	if _, err := ParseStats(make([]byte, 31)); err == nil {
+		t.Error("short stats accepted")
+	}
+
+	d := AppendDevice(nil, 7)
+	if v, err := ParseDevice(d); err != nil || v != 7 {
+		t.Errorf("device round trip: %d, %v", v, err)
+	}
+
+	a := AdminResp{EffectiveS: 3, State: "rebuilding"}
+	gotA, err := ParseAdminResp(AppendAdminResp(nil, a))
+	if err != nil || gotA != a {
+		t.Errorf("admin round trip: %+v, %v", gotA, err)
+	}
+
+	m := MapResp{DesignBlock: 6, Devices: []int32{0, 4, 8}}
+	gotM, err := ParseMapResp(AppendMapResp(nil, m))
+	if err != nil || gotM.DesignBlock != m.DesignBlock || len(gotM.Devices) != 3 {
+		t.Fatalf("map round trip: %+v, %v", gotM, err)
+	}
+	for i := range m.Devices {
+		if gotM.Devices[i] != m.Devices[i] {
+			t.Errorf("map device [%d] = %d", i, gotM.Devices[i])
+		}
+	}
+}
+
+func TestHealthCodec(t *testing.T) {
+	h := Health{
+		Devices: 9, Alive: 8, EffectiveS: 3, FullS: 5,
+		RebuildPending: 2, RebuildDone: 12,
+		States: []DeviceHealth{
+			{Device: 0, EWMAMS: 0.13, State: "healthy"},
+			{Device: 1, EWMAMS: 99, State: "failed"},
+		},
+	}
+	got, err := ParseHealth(AppendHealth(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Devices != h.Devices || got.Alive != h.Alive || got.RebuildDone != h.RebuildDone {
+		t.Errorf("summary mismatch: %+v", got)
+	}
+	if len(got.States) != 2 || got.States[1].State != "failed" || got.States[0].EWMAMS != 0.13 {
+		t.Errorf("states mismatch: %+v", got.States)
+	}
+	// Oversized state strings are clamped, not overflowed.
+	long := Health{States: []DeviceHealth{{State: strings.Repeat("x", 300)}}}
+	gotLong, err := ParseHealth(AppendHealth(nil, long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLong.States[0].State) != 255 {
+		t.Errorf("oversized state length %d, want clamped to 255", len(gotLong.States[0].State))
+	}
+	if _, err := ParseHealth([]byte{1, 2, 3}); err == nil {
+		t.Error("short health accepted")
+	}
+}
+
+func TestShardStatsCodec(t *testing.T) {
+	gs := []ShardGauge{
+		{S: 5, EffectiveS: 5, Alive: 9, Requests: 1000, Q: 0},
+		{S: 5, EffectiveS: 3, Alive: 8, Requests: 500, Q: 0.001},
+	}
+	got, err := ParseShardStats(AppendShardStats(nil, gs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gs {
+		if got[i] != gs[i] {
+			t.Errorf("gauge [%d] = %+v, want %+v", i, got[i], gs[i])
+		}
+	}
+	if _, err := ParseShardStats(AppendShardStats(nil, gs)[:10]); err == nil {
+		t.Error("truncated shard stats accepted")
+	}
+}
+
+func TestBufferPool(t *testing.T) {
+	b := GetBuffer()
+	if len(*b) != 0 {
+		t.Fatalf("pooled buffer has length %d", len(*b))
+	}
+	*b = append(*b, "payload"...)
+	PutBuffer(b)
+	b2 := GetBuffer()
+	if len(*b2) != 0 {
+		t.Errorf("reused buffer not reset: length %d", len(*b2))
+	}
+	PutBuffer(b2)
+}
+
+// TestEncodeDecodeAllocs pins the framing hot path at 0 allocs/op: header
+// encode, outcome append into a warm buffer, frame write through a
+// pre-sized bufio.Writer, and frame decode through a Reader.
+func TestEncodeDecodeAllocs(t *testing.T) {
+	// Encode side.
+	buf := make([]byte, 0, 64)
+	o := Outcome{Device: 3, DelayMS: 1.5, RespMS: 2.25, Status: StatusDelayed}
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = AppendHeader(buf[:0], Header{Opcode: OpSubmit, ID: 1, Len: OutcomeSize})
+		buf = AppendOutcome(buf, o)
+	}); n != 0 {
+		t.Errorf("encode path allocates %v/op, want 0", n)
+	}
+
+	// Writer side (bufio buffer large enough to never flush mid-run).
+	var sink bytes.Buffer
+	bw := bufio.NewWriterSize(&sink, 1<<20)
+	wr := NewWriter(bw)
+	payload := AppendOutcome(nil, o)
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := wr.WriteFrame(Header{Opcode: OpSubmit, ID: 2}, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("WriteFrame allocates %v/op, want 0", n)
+	}
+
+	// Decode side: replay one frame repeatedly through a reused reader.
+	frame := AppendFrame(nil, Header{Opcode: OpSubmit, ID: 3}, payload)
+	src := bytes.NewReader(frame)
+	br := bufio.NewReaderSize(src, 4096)
+	rd := NewReader(br, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		src.Seek(0, io.SeekStart)
+		br.Reset(src)
+		h, p, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := ParseOutcome(p)
+		if err != nil || h.ID != 3 || out.Device != 3 {
+			t.Fatal("bad decode")
+		}
+	}); n != 0 {
+		t.Errorf("decode path allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkEncodeOutcomeFrame(b *testing.B) {
+	buf := make([]byte, 0, 64)
+	o := Outcome{Device: 3, DelayMS: 1.5, RespMS: 2.25, Status: StatusDelayed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendHeader(buf[:0], Header{Opcode: OpSubmit, ID: uint64(i), Len: OutcomeSize})
+		buf = AppendOutcome(buf, o)
+	}
+}
+
+func BenchmarkDecodeOutcomeFrame(b *testing.B) {
+	payload := AppendOutcome(nil, Outcome{Device: 3, DelayMS: 1.5, RespMS: 2.25})
+	frame := AppendFrame(nil, Header{Opcode: OpSubmit, ID: 3}, payload)
+	src := bytes.NewReader(frame)
+	br := bufio.NewReaderSize(src, 4096)
+	rd := NewReader(br, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Seek(0, io.SeekStart)
+		br.Reset(src)
+		h, p, err := rd.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ParseOutcome(p); err != nil || h.ID != 3 {
+			b.Fatal("bad decode")
+		}
+	}
+}
