@@ -14,6 +14,22 @@
 // only one file are reported but do not fail the gate; regressions in
 // ns/op beyond the tolerance do. Exit status: 0 pass, 1 regression, 2
 // usage/parse error.
+//
+// Besides per-benchmark tolerances, the baseline file may declare ratio
+// invariants — shape properties of the current run that must hold no
+// matter how fast the runner is, e.g. "sharding must not invert" or "the
+// binary protocol must stay ≥3× the text protocol":
+//
+//	# ratio: BenchmarkBinaryThroughput/shards=4 / BenchmarkBinaryThroughput/shards=1 >= 1.0 ops/s
+//
+// The directive names two benchmarks (GOMAXPROCS-stripped), a minimum
+// quotient, and the metric to compare (ops/s or ns/op). Ratios are
+// evaluated on the current run only; a directive whose benchmarks or
+// metric are missing from the run fails the gate rather than silently
+// passing. The quotient of two noisy measurements is noisy in both
+// numerator and denominator, so the gate's tolerance shields ratios the
+// same way it shields per-benchmark comparisons: a directive passes when
+// the measured quotient is at least min·(1−tolerance).
 package main
 
 import (
@@ -26,10 +42,32 @@ import (
 	"strings"
 )
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. opsS is the custom ops/s metric
+// reported by the throughput benchmarks (0 when absent).
 type result struct {
 	name string
 	nsOp float64
+	opsS float64
+}
+
+// ratio is one "# ratio:" invariant parsed from the baseline file: the
+// current run must satisfy metric(a)/metric(b) >= min.
+type ratio struct {
+	a, b   string
+	min    float64
+	metric string // "ops/s" or "ns/op"
+}
+
+// metricOf returns r's value for the given metric and whether the run
+// reported it.
+func (r result) metricOf(metric string) (float64, bool) {
+	switch metric {
+	case "ns/op":
+		return r.nsOp, r.nsOp > 0
+	case "ops/s":
+		return r.opsS, r.opsS > 0
+	}
+	return 0, false
 }
 
 // parseBench extracts benchmark results from `go test -bench` output.
@@ -54,26 +92,107 @@ func parseBench(path string) (map[string]result, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		ns := -1.0
+		ns, ops := -1.0, -1.0
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op", "ops/s":
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
-					return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+					return nil, fmt.Errorf("%s: bad %s in %q", path, fields[i+1], sc.Text())
 				}
-				ns = v
-				break
+				if fields[i+1] == "ns/op" {
+					ns = v
+				} else {
+					ops = v
+				}
 			}
 		}
 		if ns < 0 {
 			continue
 		}
 		name := stripProcs(fields[0])
-		if prev, ok := out[name]; !ok || ns < prev.nsOp {
-			out[name] = result{name: name, nsOp: ns}
+		prev, seen := out[name]
+		if !seen || ns < prev.nsOp {
+			prev.name, prev.nsOp = name, ns
 		}
+		if ops > prev.opsS {
+			prev.opsS = ops
+		}
+		out[name] = prev
 	}
 	return out, sc.Err()
+}
+
+// parseRatios extracts "# ratio:" directives from the baseline file.
+// Grammar (whitespace-separated):
+//
+//	# ratio: <benchA> / <benchB> >= <min> <metric>
+func parseRatios(path string) ([]ratio, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []ratio
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "# ratio:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, "# ratio:"))
+		bad := func() ([]ratio, error) {
+			return nil, fmt.Errorf("%s: bad ratio directive %q (want \"<benchA> / <benchB> >= <min> <metric>\")", path, line)
+		}
+		if len(fields) != 6 || fields[1] != "/" || fields[3] != ">=" {
+			return bad()
+		}
+		min, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil || min <= 0 {
+			return bad()
+		}
+		metric := fields[5]
+		if metric != "ops/s" && metric != "ns/op" {
+			return bad()
+		}
+		out = append(out, ratio{a: stripProcs(fields[0]), b: stripProcs(fields[2]), min: min, metric: metric})
+	}
+	return out, sc.Err()
+}
+
+// gateRatios evaluates the ratio invariants against the current run and
+// writes a report line each, returning descriptions of the failures. A
+// missing benchmark or metric fails the directive: an invariant the run
+// cannot check must not pass silently. The tolerance discounts the
+// minimum (pass when quotient ≥ min·(1−tolerance)) — both sides of the
+// quotient carry run-to-run noise, so a hard threshold would flap on
+// invariants that hold at parity.
+func gateRatios(w *strings.Builder, ratios []ratio, current map[string]result, tolerance float64) []string {
+	var failed []string
+	for _, r := range ratios {
+		desc := fmt.Sprintf("%s / %s >= %g %s", r.a, r.b, r.min, r.metric)
+		va, aok := current[r.a].metricOf(r.metric)
+		vb, bok := current[r.b].metricOf(r.metric)
+		if !aok || !bok {
+			missing := r.a
+			if aok {
+				missing = r.b
+			}
+			fmt.Fprintf(w, "FAIL ratio %s: no %s for %s in current run\n", desc, r.metric, missing)
+			failed = append(failed, desc)
+			continue
+		}
+		got := va / vb
+		verdict := "ok  "
+		if got < r.min*(1-tolerance) {
+			verdict = "FAIL"
+			failed = append(failed, desc)
+		}
+		fmt.Fprintf(w, "%s ratio %s: %.1f / %.1f = %.2f (tolerance -%.0f%%)\n",
+			verdict, desc, va, vb, got, 100*tolerance)
+	}
+	return failed
 }
 
 // stripProcs removes the trailing -GOMAXPROCS from a benchmark name
@@ -158,13 +277,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results in %s\n", *baselinePath)
 		os.Exit(2)
 	}
+	ratios, err := parseRatios(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
 	var report strings.Builder
 	failed := gate(&report, baseline, current, *tolerance)
+	ratioFailed := gateRatios(&report, ratios, current, *tolerance)
 	fmt.Print(report.String())
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed past %.0f%%: %s\n",
 			len(failed), 100**tolerance, strings.Join(failed, ", "))
+	}
+	if len(ratioFailed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d ratio invariant(s) violated: %s\n",
+			len(ratioFailed), strings.Join(ratioFailed, "; "))
+	}
+	if len(failed)+len(ratioFailed) > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(baseline))
+	fmt.Printf("benchgate: %d benchmark(s) within tolerance, %d ratio invariant(s) hold\n",
+		len(baseline), len(ratios))
 }

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on -pprof
 	"os"
 	"os/signal"
 	"time"
@@ -53,6 +55,8 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-line read deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain before force-closing connections")
 		maxLine      = flag.Int("max-line", qosnet.DefaultMaxLineBytes, "max request-line length in bytes")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
 		noHealth     = flag.Bool("no-health", false, "disable the device-health monitor (FAIL/RECOVER/HEALTH answer ERR)")
 		suspectAfter = flag.Int("suspect-after", 3, "consecutive errors before a device turns Suspect")
@@ -107,6 +111,12 @@ func main() {
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("qosd: pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("qosd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	healthMode := "off"
 	if !*noHealth {

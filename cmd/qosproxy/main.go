@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +43,7 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", proxy.DefaultProbeInterval, "backend health-probe period (negative = no probing)")
 		ejectAfter    = flag.Int("eject-after", proxy.DefaultEjectAfter, "consecutive probe failures before a backend is ejected")
 		readTimeout   = flag.Duration("read-timeout", 5*time.Minute, "per-frame client read deadline (0 = none)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty = off)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,12 @@ func main() {
 	bound, err := p.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("qosproxy: pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("qosproxy: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	fmt.Printf("qosproxy: %d backends, devices=%d, pool=%d, probe-interval=%s, eject-after=%d, listening on %s\n",
 		p.Backends(), p.Devices(), *pool, *probeInterval, *ejectAfter, bound)

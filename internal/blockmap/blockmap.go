@@ -44,8 +44,12 @@ func (m *Mapper) Mapped(dataBlock int64) bool {
 // DesignBlock returns the design block for a data block: the FIM-derived
 // assignment if one exists, the modulo fallback otherwise.
 func (m *Mapper) DesignBlock(dataBlock int64) int {
-	if db, ok := m.assigned[dataBlock]; ok {
-		return db
+	// The assigned map is empty until the first FIM remap; skip the hash
+	// on the submit hot path until then.
+	if len(m.assigned) != 0 {
+		if db, ok := m.assigned[dataBlock]; ok {
+			return db
+		}
 	}
 	mod := dataBlock % int64(m.rows)
 	if mod < 0 {

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"flashqos/internal/admission"
+	"flashqos/internal/design"
+)
+
+// burstSubmitter is either facade: the per-request verbs plus SubmitBurst.
+type burstSubmitter interface {
+	submitter
+	SubmitBurst(arrival float64, reqs []BurstReq, sc *BurstScratch) []Outcome
+}
+
+func asBurst(sub submitter) burstSubmitter { return sub.(burstSubmitter) }
+
+// TestSubmitBurstEquivalence drives the seed-42 workload chopped into
+// pseudo-random bursts (1–12 requests sharing the first request's arrival)
+// through SubmitBurst on one system and through the per-request verbs, in
+// the same order with the same arrivals, on an identically configured
+// reference system. Every outcome must match exactly — float-for-float —
+// across both facades, both policies, a degraded mask, and statistical
+// mode (where SubmitBurst must fall back to per-request admission because
+// the gate's decisions are count-order-sensitive).
+func TestSubmitBurstEquivalence(t *testing.T) {
+	reqs := goldenWorkload()
+	type variant struct {
+		name  string
+		build func() (burst, ref burstSubmitter)
+	}
+	variants := []variant{}
+	for _, policy := range []admission.Policy{admission.Delay, admission.Reject} {
+		for _, masked := range []bool{false, true} {
+			for _, concurrent := range []bool{false, true} {
+				policy, masked, concurrent := policy, masked, concurrent
+				name := "delay"
+				if policy == admission.Reject {
+					name = "reject"
+				}
+				if masked {
+					name += "/masked"
+				}
+				if concurrent {
+					name += "/concurrent"
+				}
+				variants = append(variants, variant{name, func() (burstSubmitter, burstSubmitter) {
+					return asBurst(goldenSystem(t, policy, masked, concurrent)),
+						asBurst(goldenSystem(t, policy, masked, concurrent))
+				}})
+			}
+		}
+	}
+	tab := goldenStatTable(t)
+	for _, concurrent := range []bool{false, true} {
+		concurrent := concurrent
+		name := "stat/eps=0.05"
+		if concurrent {
+			name += "/concurrent"
+		}
+		variants = append(variants, variant{name, func() (burstSubmitter, burstSubmitter) {
+			return asBurst(goldenStatSystem(t, admission.Delay, 0.05, tab, concurrent)),
+				asBurst(goldenStatSystem(t, admission.Delay, 0.05, tab, concurrent))
+		}})
+	}
+
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			burstSys, refSys := v.build()
+			rng := rand.New(rand.NewSource(7))
+			var sc BurstScratch
+			burst := make([]BurstReq, 0, 12)
+			for i := 0; i < len(reqs); {
+				n := 1 + rng.Intn(12)
+				if i+n > len(reqs) {
+					n = len(reqs) - i
+				}
+				arrival := reqs[i].arrival
+				burst = burst[:0]
+				for _, r := range reqs[i : i+n] {
+					burst = append(burst, BurstReq{Block: r.block, Write: r.write})
+				}
+				outs := burstSys.SubmitBurst(arrival, burst, &sc)
+				if len(outs) != n {
+					t.Fatalf("burst at %d: %d outcomes for %d requests", i, len(outs), n)
+				}
+				for j, br := range burst {
+					var want Outcome
+					if br.Write {
+						want = refSys.SubmitWrite(arrival, br.Block)
+					} else {
+						want = refSys.Submit(arrival, br.Block)
+					}
+					if outs[j] != want {
+						t.Fatalf("request %d (burst of %d at %.9f, write=%v): burst outcome %+v != per-request %+v",
+							i+j, n, arrival, br.Write, outs[j], want)
+					}
+				}
+				i += n
+			}
+		})
+	}
+}
+
+// TestSubmitBurstGolden replays the committed seed-42 transcript through
+// SubmitBurst (size-1 bursts at each request's own arrival): the burst
+// path must reproduce testdata/golden_seed42.txt byte for byte, pinning it
+// to the same committed behavior as the per-request verbs.
+func TestSubmitBurstGolden(t *testing.T) {
+	reqs := goldenWorkload()
+	variants := []struct {
+		policy admission.Policy
+		name   string
+		masked bool
+	}{
+		{admission.Delay, "delay/unmasked", false},
+		{admission.Delay, "delay/masked", true},
+		{admission.Reject, "reject/unmasked", false},
+		{admission.Reject, "reject/masked", true},
+	}
+	var golden bytes.Buffer
+	for _, v := range variants {
+		for _, facade := range []string{"sequential/", "concurrent/"} {
+			sub := asBurst(goldenSystem(t, v.policy, v.masked, facade == "concurrent/"))
+			goldenRun(&golden, facade+v.name, &burstGoldenAdapter{sub: sub}, reqs)
+		}
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_seed42.txt"), golden.Bytes())
+}
+
+// burstGoldenAdapter presents SubmitBurst as the per-request submitter
+// interface so goldenRun can drive it.
+type burstGoldenAdapter struct {
+	sub burstSubmitter
+	sc  BurstScratch
+	one [1]BurstReq
+}
+
+func (a *burstGoldenAdapter) Submit(arrival float64, block int64) Outcome {
+	a.one[0] = BurstReq{Block: block}
+	return a.sub.SubmitBurst(arrival, a.one[:], &a.sc)[0]
+}
+
+func (a *burstGoldenAdapter) SubmitWrite(arrival float64, block int64) Outcome {
+	a.one[0] = BurstReq{Block: block, Write: true}
+	return a.sub.SubmitBurst(arrival, a.one[:], &a.sc)[0]
+}
+
+// TestSubmitBurstEmpty pins the edge cases: an empty burst admits nothing
+// and returns an empty slice, with or without scratch.
+func TestSubmitBurstEmpty(t *testing.T) {
+	sys, err := New(Config{Design: design.Paper931()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrent(sys)
+	if outs := cs.SubmitBurst(0, nil, nil); len(outs) != 0 {
+		t.Fatalf("empty burst returned %d outcomes", len(outs))
+	}
+	var sc BurstScratch
+	if outs := cs.SubmitBurst(0, []BurstReq{}, &sc); len(outs) != 0 {
+		t.Fatalf("empty burst with scratch returned %d outcomes", len(outs))
+	}
+	if out := cs.Submit(0, 1); out.Rejected {
+		t.Fatal("admission state disturbed by empty bursts")
+	}
+}
+
+// TestConcurrentBurstAllocFree pins the steady-state allocation count of
+// ConcurrentSystem.SubmitBurst with a reused scratch to zero. Every run
+// admits one fresh window inside a single pre-warmed counter chunk, so the
+// ledger fast path (chunk cache hit) is the one measured — the occasional
+// chunk-boundary allocation is amortized O(1/chunkSize) and excluded by
+// construction.
+func TestConcurrentBurstAllocFree(t *testing.T) {
+	sys, err := New(Config{Design: design.Paper931()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrent(sys)
+	interval := cs.IntervalMS()
+	var sc BurstScratch
+	// 2 reads + 1 write fill S(1) = 5 slots exactly: one window per run.
+	reqs := []BurstReq{{Block: 1}, {Block: 2, Write: true}, {Block: 3}}
+	w := int64(chunkSize) // chunk 1: warm-up call creates and caches it
+	run := func() {
+		outs := cs.SubmitBurst(float64(w)*interval, reqs, &sc)
+		for _, o := range outs {
+			if o.Rejected {
+				t.Fatal("burst rejected in a fresh window")
+			}
+		}
+		w++
+	}
+	if n := testing.AllocsPerRun(50, run); n != 0 {
+		t.Fatalf("SubmitBurst allocates %.2f per run on warm scratch, want 0", n)
+	}
+}
+
+// TestConcurrentBatchAllocFree pins ConcurrentSystem.SubmitBatch with a
+// reused scratch to zero steady-state allocations, same construction as
+// the burst pin.
+func TestConcurrentBatchAllocFree(t *testing.T) {
+	sys, err := New(Config{Design: design.Paper931()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrent(sys)
+	interval := cs.IntervalMS()
+	var sc BatchScratch
+	blocks := []int64{1, 2, 3, 4}
+	w := int64(chunkSize)
+	run := func() {
+		outs := cs.SubmitBatch(float64(w)*interval, blocks, &sc)
+		for _, o := range outs {
+			if o.Rejected {
+				t.Fatal("batch rejected in a fresh window")
+			}
+		}
+		w++
+	}
+	if n := testing.AllocsPerRun(50, run); n != 0 {
+		t.Fatalf("SubmitBatch allocates %.2f per run on warm scratch, want 0", n)
+	}
+}

@@ -170,8 +170,9 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 }
 
 // SubmitBatch admits a set of simultaneous block requests jointly, as in
-// System.SubmitBatch. The batch path allocates; it is not the lock-free
-// hot path.
-func (s *ConcurrentSystem) SubmitBatch(arrival float64, blocks []int64) []Outcome {
-	return s.sys.submitBatch(arrival, blocks)
+// System.SubmitBatch. With a non-nil per-caller scratch the steady state
+// is allocation-free (AllocsPerRun-pinned) and the returned slice is valid
+// until the scratch's next use; a nil scratch allocates fresh buffers.
+func (s *ConcurrentSystem) SubmitBatch(arrival float64, blocks []int64, sc *BatchScratch) []Outcome {
+	return s.sys.submitBatch(arrival, blocks, sc)
 }

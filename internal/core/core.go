@@ -98,6 +98,21 @@ type Config struct {
 	// Backend supplies device latencies and raw-trace replay service.
 	// Default: the flashsim discrete-event model (DefaultBackend).
 	Backend Backend
+	// Allocator optionally injects a prebuilt design-theoretic allocator.
+	// It must be built over the same design the system uses (Design when
+	// set, else the allocator's own design is adopted). The allocator is
+	// immutable after construction, so sharded deployments pass one
+	// instance to every shard: the replica table is stored once and stays
+	// cache-resident instead of being duplicated per shard. When nil, one
+	// is built from the design.
+	Allocator *decluster.DesignTheoretic
+	// DeviceBase is the global id of this system's device 0: outcomes
+	// report Device as DeviceBase + local device. Sharded deployments give
+	// shard i a base of i·N so the submit hot path emits global ids without
+	// a per-outcome translation pass (see shard.New). Default 0. All
+	// internal state — replica lists, masks, the scheduler — stays in local
+	// device numbering; only the Outcome.Device field is offset.
+	DeviceBase int
 }
 
 func (c *Config) applyDefaults() {
@@ -164,6 +179,10 @@ func (s *System) S() int { return s.s }
 // Design returns the block design in use.
 func (s *System) Design() *design.Design { return s.alloc.Design() }
 
+// DeviceBase returns the global id of this system's device 0
+// (Config.DeviceBase): the offset outcomes report devices at.
+func (s *System) DeviceBase() int { return s.cfg.DeviceBase }
+
 // Mapper exposes the data-block mapper (for inspection).
 func (s *System) Mapper() *blockmap.Mapper { return s.mapper }
 
@@ -200,7 +219,7 @@ func (s *System) Submit(arrival float64, dataBlock int64) Outcome {
 // the per-request path (delayed or rejected per policy). Outcomes are in
 // input order.
 func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
-	return s.submitBatch(arrival, blocks)
+	return s.submitBatch(arrival, blocks, nil)
 }
 
 // SubmitWrite schedules a block write — an extension beyond the paper's

@@ -30,18 +30,24 @@ import (
 // within one call), which is what keeps System and ConcurrentSystem
 // bit-identical to their pre-refactor outputs (see TestEngineGolden).
 type engine struct {
-	cfg    Config
-	invT   float64 // 1/IntervalMS, hoisted off the admission hot loop
-	alloc  *decluster.DesignTheoretic
-	mapper *blockmap.Mapper
-	sched  *retrieval.Online
-	stat   *statGate       // nil for deterministic (see statgate.go)
-	s      int             // admission limit S(M)
-	health *health.Monitor // nil unless AttachHealth was called
+	// The admission scan reads these on every request; they are packed
+	// first so a shard's per-request engine state spans as few cache
+	// lines as possible (K engines compete for the same cache).
+	alloc      *decluster.DesignTheoretic
+	mapper     *blockmap.Mapper
+	sched      *retrieval.Online
+	ledger     intervalLedger
+	invT       float64 // 1/IntervalMS, hoisted off the admission hot loop
+	intervalMS float64 // cfg.IntervalMS, hoisted likewise
+	deviceBase int     // cfg.DeviceBase, hoisted likewise
+	s          int     // admission limit S(M)
+	reject     bool    // cfg.Policy == admission.Reject, hoisted likewise
+	hinted     bool    // ledger tracks a frontier and stat == nil
 
-	ledger  intervalLedger
-	schedMu sync.Locker // guards sched; noLock for single-caller systems
-	hinted  bool        // ledger tracks a frontier and stat == nil
+	stat    *statGate       // nil for deterministic (see statgate.go)
+	health  *health.Monitor // nil unless AttachHealth was called
+	schedMu sync.Locker     // guards sched; noLock for single-caller systems
+	cfg     Config
 }
 
 // noLock is the no-op Locker the sequential facade plugs in: the zero-size
@@ -56,17 +62,29 @@ func (noLock) Unlock() {}
 // and no scheduler lock; NewConcurrent swaps those for the lock-free parts.
 func newEngine(cfg Config) (*engine, error) {
 	cfg.applyDefaults()
+	if cfg.DeviceBase < 0 {
+		return nil, fmt.Errorf("core: negative DeviceBase %d", cfg.DeviceBase)
+	}
 	d := cfg.Design
-	if d == nil {
+	alloc := cfg.Allocator
+	if alloc != nil {
+		if d != nil && alloc.Design() != d {
+			return nil, fmt.Errorf("core: injected allocator built over a different design")
+		}
+		d = alloc.Design()
+	} else {
+		if d == nil {
+			var err error
+			d, err = design.ForParams(cfg.N, cfg.C)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
 		var err error
-		d, err = design.ForParams(cfg.N, cfg.C)
+		alloc, err = decluster.NewDesignTheoretic(d)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-	}
-	alloc, err := decluster.NewDesignTheoretic(d)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.M < 1 {
 		return nil, fmt.Errorf("core: M must be >= 1, got %d", cfg.M)
@@ -79,14 +97,17 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := &engine{
-		cfg:     cfg,
-		invT:    1 / cfg.IntervalMS,
-		alloc:   alloc,
-		mapper:  mapper,
-		sched:   retrieval.NewOnline(d.N, cfg.ServiceMS),
-		s:       d.S(cfg.M),
-		ledger:  newSeqLedger(),
-		schedMu: noLock{},
+		cfg:        cfg,
+		invT:       1 / cfg.IntervalMS,
+		intervalMS: cfg.IntervalMS,
+		deviceBase: cfg.DeviceBase,
+		reject:     cfg.Policy == admission.Reject,
+		alloc:      alloc,
+		mapper:     mapper,
+		sched:      retrieval.NewOnline(d.N, cfg.ServiceMS),
+		s:          d.S(cfg.M),
+		ledger:     newSeqLedger(),
+		schedMu:    noLock{},
 	}
 	if cfg.Epsilon > 0 {
 		tab := cfg.Table
@@ -167,7 +188,7 @@ const windowEps = 1e-6
 // serve writes too — a window that cannot take one more read cannot take a
 // c-slot write either.
 func (e *engine) startFrom(arrival float64) float64 {
-	if e.cfg.Policy == admission.Reject {
+	if e.reject {
 		return arrival
 	}
 	var h int64
@@ -180,7 +201,7 @@ func (e *engine) startFrom(arrival float64) float64 {
 		return arrival
 	}
 	if h > e.window(arrival) {
-		if t := float64(h) * e.cfg.IntervalMS; t > arrival {
+		if t := float64(h) * e.intervalMS; t > arrival {
 			return t
 		}
 	}
@@ -230,20 +251,20 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 					// the request may queue behind busy replicas (§III-B).
 					e.ledger.add(w, 1)
 					return e.schedule(arrival, tAdm, replicas, mask, masked, false)
-				} else if e.cfg.Policy != admission.Reject {
+				} else if !e.reject {
 					// Full and refused by the published snapshot: closed
 					// for good, later scans skip it (statGate).
 					e.stat.noteDead(w)
 				}
 			}
-			if e.cfg.Policy == admission.Reject {
+			if e.reject {
 				return Outcome{Rejected: true, Admitted: arrival}
 			}
 			if e.hinted {
 				e.ledger.noteFull(w + 1)
 			}
 			w++
-			tAdm = float64(w) * e.cfg.IntervalMS // next window
+			tAdm = float64(w) * e.intervalMS // next window
 			continue
 		}
 		// Slot reserved in w. The guaranteed path also needs an idle
@@ -321,7 +342,7 @@ func (e *engine) scheduleLocked(arrival, tAdm float64, replicas []int, mask uint
 	}
 	return Outcome{
 		Admitted: tAdm,
-		Device:   c.Device,
+		Device:   e.deviceBase + c.Device,
 		Start:    c.Start,
 		Finish:   c.Finish,
 		Delay:    delay,
@@ -348,13 +369,13 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 	w := e.window(tAdm)
 	for {
 		if !e.ledger.tryReserve(w, c, limit) {
-			if e.cfg.Policy == admission.Reject {
+			if e.reject {
 				return Outcome{Rejected: true, Admitted: arrival}
 			}
 			// The window may still have room for smaller requests, so the
 			// frontier (which serves single-slot reads too) is not advanced.
 			w++
-			tAdm = float64(w) * e.cfg.IntervalMS
+			tAdm = float64(w) * e.intervalMS
 			continue
 		}
 		// All available replicas must be free simultaneously.
@@ -390,7 +411,7 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 			}
 			return Outcome{
 				Admitted: tAdm,
-				Device:   firstDev,
+				Device:   e.deviceBase + firstDev,
 				Start:    tAdm,
 				Finish:   finish,
 				Delay:    delay,
@@ -413,10 +434,15 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 
 // submitBatch admits a set of simultaneous block requests jointly — the
 // §III interval model. Shared implementation behind System.SubmitBatch and
-// ConcurrentSystem.SubmitBatch.
-func (e *engine) submitBatch(arrival float64, blocks []int64) []Outcome {
+// ConcurrentSystem.SubmitBatch. A nil scratch allocates fresh result and
+// working buffers (safe to retain); a non-nil scratch makes the steady
+// state allocation-free, with the returned slice valid until its next use.
+func (e *engine) submitBatch(arrival float64, blocks []int64, sc *BatchScratch) []Outcome {
 	if len(blocks) == 0 {
 		return nil
+	}
+	if sc == nil {
+		sc = &BatchScratch{}
 	}
 	if e.stat != nil {
 		e.stat.closeUpTo(e.window(arrival), e.ledger)
@@ -441,36 +467,40 @@ func (e *engine) submitBatch(arrival float64, blocks []int64) []Outcome {
 			break
 		}
 	}
-	out := make([]Outcome, len(blocks))
+	out := sc.outcomes(len(blocks))
 	if take > 0 {
-		replicas := make([][]int, take)
+		replicas := sc.replicaBuf(take)
 		unavailable := 0
-		for i := 0; i < take; i++ {
-			replicas[i] = e.Replicas(blocks[i])
-			if masked {
-				// Degraded batch: restrict the joint assignment to the
-				// surviving replicas (allocates; the batch path is not the
-				// zero-alloc hot path).
-				alive := make([]int, 0, len(replicas[i]))
-				for _, d := range replicas[i] {
+		if masked {
+			// Degraded batch: restrict the joint assignment to the
+			// surviving replicas. The alive lists live in one flat buffer
+			// sized up front, so the sub-slices stay valid as it fills.
+			alive := sc.aliveBuf(take, e.alloc.Copies())
+			for i := 0; i < take; i++ {
+				start := len(alive)
+				for _, d := range e.Replicas(blocks[i]) {
 					if mask&(1<<uint(d)) != 0 {
 						alive = append(alive, d)
 					}
 				}
-				if len(alive) == 0 {
+				if len(alive) == start {
 					out[i] = Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
 					replicas[i] = nil
 					unavailable++
 					continue
 				}
-				replicas[i] = alive
+				replicas[i] = alive[start:len(alive):len(alive)]
+			}
+		} else {
+			for i := 0; i < take; i++ {
+				replicas[i] = e.Replicas(blocks[i])
 			}
 		}
 		if masked {
 			// Compact out unavailable blocks before the joint assignment;
 			// their reserved slots go back (they consume no budget).
 			live := replicas[:0]
-			idx := make([]int, 0, take)
+			idx := sc.idxBuf(take)
 			for i, r := range replicas {
 				if r != nil {
 					live = append(live, r)
@@ -481,24 +511,26 @@ func (e *engine) submitBatch(arrival float64, blocks []int64) []Outcome {
 				e.ledger.release(w, unavailable)
 			}
 			e.schedMu.Lock()
-			cs := e.sched.SubmitBatch(arrival, live)
+			cs := e.sched.SubmitBatchInto(arrival, live, sc.comps)
 			e.schedMu.Unlock()
+			sc.comps = cs
 			for j, c := range cs {
 				out[idx[j]] = Outcome{
 					Admitted: arrival,
-					Device:   c.Device,
+					Device:   e.deviceBase + c.Device,
 					Start:    c.Start,
 					Finish:   c.Finish,
 				}
 			}
 		} else {
 			e.schedMu.Lock()
-			cs := e.sched.SubmitBatch(arrival, replicas)
+			cs := e.sched.SubmitBatchInto(arrival, replicas, sc.comps)
 			e.schedMu.Unlock()
+			sc.comps = cs
 			for i, c := range cs {
 				out[i] = Outcome{
 					Admitted: arrival,
-					Device:   c.Device,
+					Device:   e.deviceBase + c.Device,
 					Start:    c.Start,
 					Finish:   c.Finish,
 				}

@@ -26,6 +26,11 @@ type intervalLedger interface {
 	// tryReserve claims n slots in window w unless that would push the
 	// count past limit (S, or the degraded S' snapshot the caller took).
 	tryReserve(w int64, n, limit int) bool
+	// reserveUpTo claims as many of n slots in window w as fit under limit
+	// and returns how many were claimed (0 means the window is full). The
+	// burst path uses it to pay one grouped counter update per (window,
+	// burst) instead of one CAS per request; unused claims must be released.
+	reserveUpTo(w int64, n, limit int) int
 	// add claims n slots unconditionally — the statistical controller may
 	// admit past the deterministic limit (§III-B over-admission).
 	add(w int64, n int)
@@ -74,6 +79,18 @@ func (l *seqLedger) tryReserve(w int64, n, limit int) bool {
 	}
 	l.counts[w] += n
 	return true
+}
+
+func (l *seqLedger) reserveUpTo(w int64, n, limit int) int {
+	room := limit - l.counts[w]
+	if room <= 0 {
+		return 0
+	}
+	if n > room {
+		n = room
+	}
+	l.counts[w] += n
+	return n
 }
 
 func (l *seqLedger) add(w int64, n int)     { l.counts[w] += n }
@@ -157,6 +174,13 @@ type shardedLedger struct {
 	// hint only short-circuits the scan under sustained overload.
 	hint atomic.Int64
 
+	// front is the most recently resolved chunk, kept beside the hint so
+	// the admission scan's two per-request ledger reads — frontier and the
+	// frontier window's counter — share one cache line. Purely a first
+	// lookup level over the mapped cache: it holds canonical chunk
+	// pointers only, so the staleness argument below applies unchanged.
+	front atomic.Pointer[cachedChunk]
+
 	// prunable is the statistical gate's fold progress (notePrunable):
 	// windows below it were merged into the interval history and are never
 	// read again. It feeds the same reclaim floor as the hint — in ε > 0
@@ -183,7 +207,11 @@ func newShardedLedger() *shardedLedger { return &shardedLedger{} }
 // lives in counterSlow.
 func (l *shardedLedger) counter(w int64) *atomic.Int32 {
 	ck := w >> chunkBits
+	if e := l.front.Load(); e != nil && e.ck == ck {
+		return &e.p.counts[w&(chunkSize-1)]
+	}
 	if e := l.cache[uint64(ck)&(counterCacheSize-1)].Load(); e != nil && e.ck == ck {
+		l.front.Store(e)
 		return &e.p.counts[w&(chunkSize-1)]
 	}
 	return l.counterSlow(w, ck)
@@ -219,7 +247,9 @@ func (l *shardedLedger) counterSlow(w, ck int64) *atomic.Int32 {
 		sh.chunks[ck] = p
 	}
 	sh.mu.Unlock()
-	slot.Store(&cachedChunk{ck: ck, p: p})
+	e := &cachedChunk{ck: ck, p: p}
+	slot.Store(e)
+	l.front.Store(e)
 	return &p.counts[w&(chunkSize-1)]
 }
 
@@ -255,6 +285,27 @@ func (l *shardedLedger) tryReserve(w int64, n, limit int) bool {
 	}
 }
 
+// reserveUpTo claims min(n, room) slots in window w with one CAS loop —
+// the grouped form of tryReserve behind the burst path. Like tryReserve,
+// each CAS enforces the limit its caller observed.
+func (l *shardedLedger) reserveUpTo(w int64, n, limit int) int {
+	c := l.counter(w)
+	for {
+		v := c.Load()
+		room := int32(limit) - v
+		if room <= 0 {
+			return 0
+		}
+		take := int32(n)
+		if take > room {
+			take = room
+		}
+		if c.CompareAndSwap(v, v+take) {
+			return int(take)
+		}
+	}
+}
+
 func (l *shardedLedger) add(w int64, n int) { l.counter(w).Add(int32(n)) }
 
 func (l *shardedLedger) release(w int64, n int) { l.counter(w).Add(int32(-n)) }
@@ -265,10 +316,11 @@ func (l *shardedLedger) release(w int64, n int) { l.counter(w).Add(int32(-n)) }
 // of the frontier (its admit time jumps over windows when its replica
 // devices are busy) while the skipped windows still have capacity for
 // other blocks. Advancing past those would starve them, so only a
-// failure at the frontier itself extends it.
+// failure at the frontier window itself extends it — the scan reports a
+// full window w as noteFull(w+1), so the contiguous case is next == h+1.
 func (l *shardedLedger) noteFull(next int64) {
-	if h := l.hint.Load(); next == h {
-		l.hint.CompareAndSwap(h, next+1)
+	if h := l.hint.Load(); next == h+1 {
+		l.hint.CompareAndSwap(h, next)
 	}
 }
 
@@ -320,6 +372,7 @@ func (l *shardedLedger) maxCount() int {
 }
 
 func (l *shardedLedger) reset() {
+	l.front.Store(nil)
 	for i := range l.cache {
 		l.cache[i].Store(nil)
 	}

@@ -37,8 +37,8 @@ import (
 // and the ε guarantee degrades gracefully rather than breaking; DESIGN.md
 // §10 gives the argument.
 type statGate struct {
-	mu   sync.Mutex              // serializes merges and table swaps
-	stat *admission.Statistical  // canonical history; guarded by mu
+	mu   sync.Mutex             // serializes merges and table swaps
+	stat *admission.Statistical // canonical history; guarded by mu
 	snap atomic.Pointer[admission.Snapshot]
 
 	// lastClosed is the most recent window folded into the history. It

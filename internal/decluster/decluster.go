@@ -56,6 +56,11 @@ func (t *tableAllocator) Devices() int { return t.n }
 func (t *tableAllocator) Copies() int  { return t.c }
 func (t *tableAllocator) Rows() int    { return len(t.rows) }
 func (t *tableAllocator) Replicas(b int) []int {
+	// In-range buckets (the common case: mappers emit design blocks that
+	// are already row indices) skip the wrapping division.
+	if uint(b) < uint(len(t.rows)) {
+		return t.rows[b]
+	}
 	if b < 0 {
 		panic(fmt.Sprintf("decluster: negative bucket %d", b))
 	}

@@ -1,0 +1,78 @@
+package proxy
+
+import (
+	"sync"
+
+	"flashqos/internal/shard"
+	"flashqos/internal/wire"
+)
+
+// batchScratch holds every buffer one BATCH forward needs: the decoded
+// request, the per-backend split (sub-batches, original positions,
+// encoded sub-requests, raw and decoded sub-responses), the merged
+// outcomes, and the encoded response. Scratches are pooled so the BATCH
+// path stops allocating per call; a scratch may be returned to the pool
+// as soon as the response frame has been handed to the connection writer
+// (which copies the payload into its buffer before returning).
+type batchScratch struct {
+	blocks []int64          // decoded request blocks
+	idxs   [][]int          // idxs[bi]: original positions of backend bi's sub-batch
+	parts  [][]int64        // parts[bi]: backend bi's sub-batch blocks
+	reqs   [][]byte         // reqs[bi]: encoded sub-request payload
+	rps    [][]byte         // rps[bi]: raw sub-response payload
+	subs   [][]wire.Outcome // subs[bi]: decoded sub-response outcomes
+	outs   []wire.Outcome   // merged outcomes in input order
+	resp   []byte           // encoded response payload
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// ensure sizes the per-backend slices for k backends, growing only when a
+// scratch meets a larger fan-out than it has seen and keeping every inner
+// backing array for reuse.
+func (sc *batchScratch) ensure(k int) {
+	for len(sc.idxs) < k {
+		sc.idxs = append(sc.idxs, nil)
+		sc.parts = append(sc.parts, nil)
+		sc.reqs = append(sc.reqs, nil)
+		sc.rps = append(sc.rps, nil)
+		sc.subs = append(sc.subs, nil)
+	}
+}
+
+// outBuf returns the merged-outcome buffer re-sliced to n.
+func (sc *batchScratch) outBuf(n int) []wire.Outcome {
+	if cap(sc.outs) < n {
+		sc.outs = make([]wire.Outcome, n)
+	}
+	sc.outs = sc.outs[:n]
+	return sc.outs
+}
+
+// splitBatch partitions blocks by owning backend — shard.Route over k,
+// the same hash the per-request path uses — into sc.parts and sc.idxs.
+// Steady-state reuse of a scratch is allocation-free.
+func splitBatch(blocks []int64, k int, sc *batchScratch) {
+	sc.ensure(k)
+	for bi := 0; bi < k; bi++ {
+		sc.idxs[bi] = sc.idxs[bi][:0]
+		sc.parts[bi] = sc.parts[bi][:0]
+	}
+	for i, blk := range blocks {
+		bi := shard.Route(blk, k)
+		sc.idxs[bi] = append(sc.idxs[bi], i)
+		sc.parts[bi] = append(sc.parts[bi], blk)
+	}
+}
+
+// mergeBatch scatters one backend's sub-batch outcomes back into input
+// order, globalizing admitted device ids by the backend's offset. idx is
+// the position list splitBatch built for that backend.
+func mergeBatch(outs, sub []wire.Outcome, idx []int, offset int32) {
+	for j, o := range sub {
+		if o.Device >= 0 {
+			o.Device += offset
+		}
+		outs[idx[j]] = o
+	}
+}

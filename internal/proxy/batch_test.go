@@ -1,0 +1,109 @@
+package proxy
+
+import (
+	"testing"
+
+	"flashqos/internal/shard"
+	"flashqos/internal/wire"
+)
+
+// TestSplitMergeRoundTrip checks the pure split/merge pair against the
+// routing rule: every block lands in its owning backend's sub-batch, and
+// merging the sub-responses reproduces input order with globalized
+// device ids.
+func TestSplitMergeRoundTrip(t *testing.T) {
+	const k = 3
+	blocks := make([]int64, 50)
+	for i := range blocks {
+		blocks[i] = int64(i * 977)
+	}
+	sc := new(batchScratch)
+	splitBatch(blocks, k, sc)
+	total := 0
+	for bi := 0; bi < k; bi++ {
+		if len(sc.parts[bi]) != len(sc.idxs[bi]) {
+			t.Fatalf("backend %d: %d blocks vs %d indices", bi, len(sc.parts[bi]), len(sc.idxs[bi]))
+		}
+		for j, blk := range sc.parts[bi] {
+			if shard.Route(blk, k) != bi {
+				t.Errorf("block %d split to backend %d, Route says %d", blk, bi, shard.Route(blk, k))
+			}
+			if blocks[sc.idxs[bi][j]] != blk {
+				t.Errorf("backend %d pos %d: index %d points at block %d, want %d",
+					bi, j, sc.idxs[bi][j], blocks[sc.idxs[bi][j]], blk)
+			}
+		}
+		total += len(sc.parts[bi])
+	}
+	if total != len(blocks) {
+		t.Fatalf("split covers %d blocks, want %d", total, len(blocks))
+	}
+
+	// Simulate each backend answering with local device ids, then merge.
+	outs := sc.outBuf(len(blocks))
+	for bi := 0; bi < k; bi++ {
+		sub := sc.subs[bi][:0]
+		for j := range sc.parts[bi] {
+			dev := int32(j % 9)
+			if j == 0 {
+				dev = -1 // a rejection must not get the offset
+			}
+			sub = append(sub, wire.Outcome{Device: dev, Status: wire.StatusDelayed})
+		}
+		sc.subs[bi] = sub
+		mergeBatch(outs, sub, sc.idxs[bi], int32(bi*9))
+	}
+	for bi := 0; bi < k; bi++ {
+		for j, idx := range sc.idxs[bi] {
+			got := outs[idx]
+			want := int32(bi*9 + j%9)
+			if j == 0 {
+				want = -1
+			}
+			if got.Device != want {
+				t.Errorf("merged outcome %d device = %d, want %d", idx, got.Device, want)
+			}
+		}
+	}
+}
+
+// TestBatchScratchAllocFree pins the steady-state allocation count of the
+// whole split → encode → decode → merge → encode cycle on a warmed
+// scratch to zero, so the BATCH forward path cannot silently regress to
+// per-call allocation again.
+func TestBatchScratchAllocFree(t *testing.T) {
+	const k = 4
+	blocks := make([]int64, 64)
+	for i := range blocks {
+		blocks[i] = int64(i * 977)
+	}
+	payload := wire.AppendBatchReq(nil, blocks)
+	sc := new(batchScratch)
+	run := func() {
+		dec, err := wire.ParseBatchReq(payload, sc.blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.blocks = dec
+		splitBatch(dec, k, sc)
+		outs := sc.outBuf(len(dec))
+		for bi := 0; bi < k; bi++ {
+			if len(sc.parts[bi]) == 0 {
+				continue
+			}
+			sc.reqs[bi] = wire.AppendBatchReq(sc.reqs[bi][:0], sc.parts[bi])
+			// Stand in for the backend round trip: echo an outcome per block.
+			sub := sc.subs[bi][:0]
+			for range sc.parts[bi] {
+				sub = append(sub, wire.Outcome{Device: 2})
+			}
+			sc.subs[bi] = sub
+			mergeBatch(outs, sub, sc.idxs[bi], int32(bi*9))
+		}
+		sc.resp = wire.AppendBatchResp(sc.resp[:0], outs)
+	}
+	run() // warm the scratch
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("batch split/merge cycle allocates %.1f per run on warm scratch, want 0", n)
+	}
+}

@@ -399,8 +399,10 @@ func (w *connWriter) writeError(h wire.Header, msg string) {
 }
 
 // call runs one synchronous round trip on a pooled client and unwraps
-// error frames. The returned payload is a copy.
-func call(c *qosnet.BinaryClient, op uint8, payload []byte) ([]byte, error) {
+// error frames. The response payload is copied out of the demultiplexer
+// into dst's backing (grown as needed; pass nil for a fresh allocation),
+// so callers holding pooled scratch reuse it across calls.
+func call(c *qosnet.BinaryClient, op uint8, payload, dst []byte) ([]byte, error) {
 	type result struct {
 		p   []byte
 		err error
@@ -411,7 +413,7 @@ func call(c *qosnet.BinaryClient, op uint8, payload []byte) ([]byte, error) {
 			err = errors.New(string(p))
 			p = nil
 		}
-		ch <- result{p: append([]byte(nil), p...), err: err}
+		ch <- result{p: append(dst[:0], p...), err: err}
 	})
 	r := <-ch
 	return r.p, r.err
@@ -508,31 +510,35 @@ func (p *Proxy) forwardSubmit(w *connWriter, h wire.Header, payload []byte) {
 // the sub-batches concurrently, and reassembles the outcomes in input
 // order. Joint admission holds within each backend (which is where window
 // capacity lives); across backends the partitions are independent anyway.
+// All split/merge scratch comes from a pooled batchScratch — each fan-out
+// goroutine owns its backend's slots, so steady state allocates nothing
+// beyond the round-trip channels. BinaryClient.Call copies the request
+// payload into its write buffer before returning and the connection
+// writer copies the response payload likewise, so the scratch can go back
+// to the pool as soon as this function returns.
 func (p *Proxy) forwardBatch(w *connWriter, h wire.Header, payload []byte) {
 	resp := wire.Header{Opcode: wire.OpBatch, ID: h.ID}
-	blocks, err := wire.ParseBatchReq(payload, nil)
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	blocks, err := wire.ParseBatchReq(payload, sc.blocks)
+	if blocks != nil {
+		sc.blocks = blocks
+	}
 	if err != nil {
 		w.writeError(resp, "bad batch payload")
 		return
 	}
-	k := len(p.backends)
-	idxs := make([][]int, k)
-	parts := make([][]int64, k)
-	for i, blk := range blocks {
-		bi := shard.Route(blk, k)
-		idxs[bi] = append(idxs[bi], i)
-		parts[bi] = append(parts[bi], blk)
-	}
-	outs := make([]wire.Outcome, len(blocks))
+	splitBatch(blocks, len(p.backends), sc)
+	outs := sc.outBuf(len(blocks))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var ferr error
 	for bi := range p.backends {
-		if len(parts[bi]) == 0 {
+		if len(sc.parts[bi]) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(b *backend, part []int64, idx []int) {
+		go func(bi int, b *backend) {
 			defer wg.Done()
 			if !b.up.Load() {
 				mu.Lock()
@@ -540,12 +546,19 @@ func (p *Proxy) forwardBatch(w *connWriter, h wire.Header, payload []byte) {
 				mu.Unlock()
 				return
 			}
-			rp, err := call(b.client(), wire.OpBatch, wire.AppendBatchReq(nil, part))
+			sc.reqs[bi] = wire.AppendBatchReq(sc.reqs[bi][:0], sc.parts[bi])
+			rp, err := call(b.client(), wire.OpBatch, sc.reqs[bi], sc.rps[bi])
+			if rp != nil {
+				sc.rps[bi] = rp
+			}
 			var sub []wire.Outcome
 			if err == nil {
-				sub, err = wire.ParseBatchResp(rp, nil)
+				sub, err = wire.ParseBatchResp(rp, sc.subs[bi])
+				if sub != nil {
+					sc.subs[bi] = sub
+				}
 			}
-			if err == nil && len(sub) != len(idx) {
+			if err == nil && len(sub) != len(sc.idxs[bi]) {
 				err = errors.New("backend batch size mismatch")
 			}
 			if err != nil {
@@ -554,20 +567,16 @@ func (p *Proxy) forwardBatch(w *connWriter, h wire.Header, payload []byte) {
 				mu.Unlock()
 				return
 			}
-			for j, o := range sub {
-				if o.Device >= 0 {
-					o.Device += int32(b.offset)
-				}
-				outs[idx[j]] = o
-			}
-		}(p.backends[bi], parts[bi], idxs[bi])
+			mergeBatch(outs, sub, sc.idxs[bi], int32(b.offset))
+		}(bi, p.backends[bi])
 	}
 	wg.Wait()
 	if ferr != nil {
 		w.writeError(resp, ferr.Error())
 		return
 	}
-	w.writeFrame(resp, wire.AppendBatchResp(nil, outs))
+	sc.resp = wire.AppendBatchResp(sc.resp[:0], outs)
+	w.writeFrame(resp, sc.resp)
 }
 
 // forwardMap routes a MAP to the owning backend and globalizes the replica
@@ -584,7 +593,7 @@ func (p *Proxy) forwardMap(w *connWriter, h wire.Header, payload []byte) {
 		w.writeError(resp, "backend down: "+b.addr)
 		return
 	}
-	rp, err := call(b.client(), wire.OpMap, wire.AppendBlock(nil, block))
+	rp, err := call(b.client(), wire.OpMap, wire.AppendBlock(nil, block), nil)
 	if err != nil {
 		w.writeError(resp, err.Error())
 		return
@@ -713,7 +722,7 @@ func (p *Proxy) forwardAdmin(w *connWriter, h wire.Header, payload []byte) {
 		w.writeError(resp, "backend down: "+b.addr)
 		return
 	}
-	rp, err := call(b.client(), h.Opcode, wire.AppendDevice(nil, uint32(local)))
+	rp, err := call(b.client(), h.Opcode, wire.AppendDevice(nil, uint32(local)), nil)
 	if err != nil {
 		w.writeError(resp, err.Error())
 		return

@@ -9,12 +9,19 @@ import (
 	"time"
 
 	"flashqos/internal/core"
+	"flashqos/internal/shard"
 	"flashqos/internal/wire"
 )
 
 // maxBatchBlocks caps one OpBatch request; larger batches get an error
 // frame (and the payload cap usually refuses them first).
 const maxBatchBlocks = 1 << 16
+
+// maxBurstFrames caps how many pipelined submit frames are drained into
+// one burst before admission runs. Reader.More can stay true indefinitely
+// under a continuous stream, so the cap bounds response latency and the
+// per-connection burst scratch (one outcome frame per collected request).
+const maxBurstFrames = 1024
 
 // toWireOutcome converts a core outcome to its wire form. Rejected
 // outcomes carry device -1 and zeroed timings, matching the text
@@ -38,24 +45,87 @@ func toWireOutcome(out core.Outcome) wire.Outcome {
 // arrival order (admission is fast enough that per-connection concurrency
 // would only buy reordering); the request ID is echoed on every response,
 // so clients may pipeline arbitrarily deep and demultiplex completions.
-// Responses are flushed once the read buffer holds no further complete
-// frame, so a pipelined burst costs one write syscall.
+//
+// Pipelined READ/WRITE frames are drained into a burst before admitting:
+// Reader.More tells, for free, whether the read buffer holds another
+// complete frame, so every frame that arrived in one socket fill is
+// collected and admitted burst-wise. Each request is routed to its owning
+// shard while its frame is decoded (the bytes are already hot) into a
+// per-shard bucket, so every shard admits one contiguous sub-burst with
+// no scatter indirection and its ledger stripes are touched once per
+// burst. Outcomes are bit-identical to per-frame submission; response
+// frames encode append-style into one scratch buffer flushed with a
+// single write, grouped by shard — request IDs are echoed on every
+// response, so the protocol permits the reordering (BinaryClient demuxes
+// by ID). Other opcodes settle the pending burst first.
 func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 	rd := wire.NewReader(r, s.opts.MaxPayloadBytes)
 	bw := bufio.NewWriterSize(conn, connReadBuf)
 	wr := wire.NewWriter(bw)
 	scratch := make([]byte, 0, 256)
-	var blocks []int64         // OpBatch request scratch
-	var outs []wire.Outcome    // OpBatch response scratch
+	var blocks []int64      // OpBatch request scratch
+	var outs []wire.Outcome // OpBatch response scratch
 	var gauges []wire.ShardGauge
+	nshards := s.arr.Shards()
+	var (
+		shIDs     = make([][]uint64, nshards)        // request IDs, bucketed by shard
+		shReqs    = make([][]core.BurstReq, nshards) // the collected burst, bucketed by shard
+		shSc      = make([]core.BurstScratch, nshards)
+		collected int    // requests in the pending burst, all buckets
+		burstResp []byte // encoded outcome frames for one burst
+		batchSc   shard.BatchScratch
+	)
 	hasHealth := s.anyHealth()
 	arrival := -1.0 // virtual arrival stamp, renewed per socket fill
+
+	// flushBurst admits the collected burst shard by shard and writes its
+	// outcome frames: straight to the socket in one write when nothing
+	// earlier sits in the bufio buffer (the common case — one syscall for
+	// the whole burst), through the buffer otherwise so error responses
+	// keep their place in the stream.
+	flushBurst := func() error {
+		if collected == 0 {
+			return nil
+		}
+		collected = 0
+		burstResp = burstResp[:0]
+		for sh := 0; sh < nshards; sh++ {
+			reqs := shReqs[sh]
+			if len(reqs) == 0 {
+				continue
+			}
+			bouts := s.submitBurstShard(st, sh, reqs, &shSc[sh], hasHealth, arrival)
+			ids := shIDs[sh]
+			for i := range bouts {
+				op := uint8(wire.OpSubmit)
+				if reqs[i].Write {
+					op = wire.OpWrite
+				}
+				burstResp = wire.AppendOutcomeFrame(burstResp,
+					wire.Header{Opcode: op, ID: ids[i]}, toWireOutcome(bouts[i]))
+			}
+			shIDs[sh], shReqs[sh] = ids[:0], reqs[:0]
+		}
+		if bw.Buffered() == 0 {
+			_, err := conn.Write(burstResp)
+			return err
+		}
+		_, err := bw.Write(burstResp)
+		return err
+	}
+
 	for {
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 		}
 		h, payload, err := rd.Next()
 		if err != nil {
+			// A burst can be pending here — More counts a buffered
+			// malformed header as a frame — and its requests were already
+			// well-formed: answer them before reporting the error.
+			if flushBurst() != nil {
+				return
+			}
 			// A framing violation (bad magic/version, oversized length,
 			// truncated frame) cannot be resynchronized: best-effort error
 			// frame, then close. Clean EOF just closes.
@@ -70,15 +140,50 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 			arrival = s.now()
 		}
 		resp := wire.Header{Opcode: h.Opcode, ID: h.ID}
-		switch h.Opcode {
-		case wire.OpSubmit, wire.OpWrite:
+		if h.Opcode == wire.OpSubmit || h.Opcode == wire.OpWrite {
 			block, perr := wire.ParseBlock(payload)
 			if perr != nil {
-				err = wr.WriteError(resp, "bad block payload")
-				break
+				// The burst collected so far answers first so responses
+				// stay in request order.
+				if flushBurst() != nil {
+					return
+				}
+				if wr.WriteError(resp, "bad block payload") != nil {
+					return
+				}
+			} else {
+				sh := 0
+				if nshards > 1 {
+					sh = shard.Route(block, nshards)
+				}
+				shIDs[sh] = append(shIDs[sh], h.ID)
+				shReqs[sh] = append(shReqs[sh], core.BurstReq{Block: block, Write: h.Opcode == wire.OpWrite})
+				collected++
+				// Keep draining while the read buffer holds further
+				// complete frames — they arrived together and admit as one
+				// burst. The cap bounds latency and scratch growth under a
+				// stream that never drains.
+				if rd.More() && collected < maxBurstFrames {
+					continue
+				}
+				if flushBurst() != nil {
+					return
+				}
 			}
-			out := s.submitAt(st, h.Opcode == wire.OpWrite, block, hasHealth, arrival)
-			err = wr.WriteOutcome(resp, toWireOutcome(out))
+			if !rd.More() {
+				if bw.Flush() != nil {
+					return
+				}
+				arrival = -1 // next frame comes off a fresh fill
+			}
+			continue
+		}
+		// Every other opcode settles the pending burst first: its requests
+		// arrived earlier and their responses go out earlier.
+		if flushBurst() != nil {
+			return
+		}
+		switch h.Opcode {
 		case wire.OpBatch:
 			var perr error
 			blocks, perr = wire.ParseBatchReq(payload, blocks)
@@ -89,7 +194,7 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 			if outs != nil {
 				outs = outs[:0]
 			}
-			for _, out := range s.submitBatch(st, blocks, hasHealth) {
+			for _, out := range s.submitBatch(st, blocks, &batchSc, hasHealth) {
 				outs = append(outs, toWireOutcome(out))
 			}
 			scratch = wire.AppendBatchResp(scratch[:0], outs)

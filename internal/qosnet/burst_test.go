@@ -1,0 +1,198 @@
+package qosnet
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"flashqos/internal/wire"
+)
+
+// TestBinaryEmptyBatch pins the zero-length boundary of the batch path: a
+// BATCH frame with no blocks answers an empty response, and the
+// connection stays usable.
+func TestBinaryEmptyBatch(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialBinT(t, addr)
+	rs, err := c.Batch(nil)
+	if err != nil {
+		t.Fatalf("empty BATCH: %v", err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("empty BATCH returned %d outcomes", len(rs))
+	}
+	if _, err := c.Read(1); err != nil {
+		t.Fatalf("connection unusable after empty BATCH: %v", err)
+	}
+}
+
+// TestBinarySingleFrameBurst speaks raw frames one at a time — each socket
+// fill holds exactly one request, so every "burst" the server drains has
+// length one — and checks each response arrives immediately (the flush
+// gate must not hold a lone frame's response hostage waiting for more).
+func TestBinarySingleFrameBurst(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := wire.NewReader(bufio.NewReader(conn), 0)
+	for i := uint64(1); i <= 5; i++ {
+		frame := wire.AppendFrame(nil, wire.Header{Opcode: wire.OpSubmit, ID: i},
+			wire.AppendBlock(nil, int64(i)))
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		h, payload, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h.ID != i {
+			t.Fatalf("frame %d answered ID %d", i, h.ID)
+		}
+		o, _, err := wire.ParseOutcome(payload)
+		if err != nil || o.Rejected() {
+			t.Fatalf("frame %d outcome %+v err %v", i, o, err)
+		}
+	}
+}
+
+// TestBinaryBurstSpansReadBuffer sends one contiguous run of pipelined
+// submit frames larger than the server's 32 KiB read buffer — the run
+// spans multiple socket fills and crosses the maxBurstFrames cap — and
+// checks every request completes exactly once with a well-formed outcome.
+func TestBinaryBurstSpansReadBuffer(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 2000 // n * 24-byte frames ≈ 48 KiB > connReadBuf
+	buf := make([]byte, 0, n*(wire.HeaderSize+8))
+	for i := 0; i < n; i++ {
+		buf = wire.AppendFrame(buf, wire.Header{Opcode: wire.OpSubmit, ID: uint64(i + 1)},
+			wire.AppendBlock(nil, int64(i)))
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(buf)
+		errc <- err
+	}()
+
+	rd := wire.NewReader(bufio.NewReaderSize(conn, 1<<16), 0)
+	seen := make([]bool, n+1)
+	for got := 0; got < n; got++ {
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		h, payload, err := rd.Next()
+		if err != nil {
+			t.Fatalf("after %d responses: %v", got, err)
+		}
+		if h.Flags&wire.FlagError != 0 {
+			t.Fatalf("request %d answered error %q", h.ID, payload)
+		}
+		if h.ID < 1 || h.ID > n {
+			t.Fatalf("response ID %d out of range", h.ID)
+		}
+		if seen[h.ID] {
+			t.Fatalf("request %d completed twice", h.ID)
+		}
+		seen[h.ID] = true
+		if _, _, err := wire.ParseOutcome(payload); err != nil {
+			t.Fatalf("request %d: bad outcome: %v", h.ID, err)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+// TestBinaryBurstOrderAcrossOpcodes pipelines submits with a STATS frame
+// in the middle of the run. The server must settle the pending burst
+// before answering the non-submit opcode: responses arrive in request
+// order, and the STATS snapshot already counts every submit that preceded
+// it.
+func TestBinaryBurstOrderAcrossOpcodes(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const before, after = 7, 4
+	buf := make([]byte, 0, 512)
+	id := uint64(0)
+	for i := 0; i < before; i++ {
+		id++
+		buf = wire.AppendFrame(buf, wire.Header{Opcode: wire.OpSubmit, ID: id},
+			wire.AppendBlock(nil, int64(i)))
+	}
+	id++
+	statsID := id
+	buf = wire.AppendFrame(buf, wire.Header{Opcode: wire.OpStats, ID: statsID}, nil)
+	for i := 0; i < after; i++ {
+		id++
+		buf = wire.AppendFrame(buf, wire.Header{Opcode: wire.OpSubmit, ID: id},
+			wire.AppendBlock(nil, int64(before+i)))
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := wire.NewReader(bufio.NewReader(conn), 0)
+	for want := uint64(1); want <= id; want++ {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		h, payload, err := rd.Next()
+		if err != nil {
+			t.Fatalf("response %d: %v", want, err)
+		}
+		if h.ID != want {
+			t.Fatalf("response order broken: got ID %d, want %d", h.ID, want)
+		}
+		if h.ID == statsID {
+			st, err := wire.ParseStats(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Requests != before {
+				t.Errorf("STATS mid-pipeline counts %d requests, want %d (burst settled first)",
+					st.Requests, before)
+			}
+		}
+	}
+}
+
+// TestBinaryInFlightAcrossShutdownDrain starts a graceful Shutdown while a
+// deep pipeline is in flight: every request must still complete cleanly
+// (the drain serves connections to completion), and Shutdown must return
+// nil once the client leaves.
+func TestBinaryInFlightAcrossShutdownDrain(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialBinT(t, addr)
+
+	const n = 400
+	chans := make([]<-chan SubmitResult, n)
+	for i := 0; i < n; i++ {
+		chans[i] = c.SubmitAsync(int64(i))
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(10 * time.Second) }()
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("in-flight submit %d failed during drain: %v", i, res.Err)
+		}
+		if res.Rejected {
+			t.Errorf("submit %d rejected under Delay policy", i)
+		}
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Errorf("Shutdown after pipeline drained = %v, want nil", err)
+	}
+}

@@ -588,11 +588,42 @@ func (s *Server) submitAt(st *stripe, write bool, block int64, hasHealth bool, a
 }
 
 // submitBatch admits simultaneous requests jointly (shard.Array.SubmitBatch
-// semantics) with the same accounting as submit.
-func (s *Server) submitBatch(st *stripe, blocks []int64, hasHealth bool) []core.Outcome {
-	outs := s.arr.SubmitBatch(s.now(), blocks)
+// semantics) with the same accounting as submit. The scratch belongs to the
+// calling connection; nil allocates.
+func (s *Server) submitBatch(st *stripe, blocks []int64, sc *shard.BatchScratch, hasHealth bool) []core.Outcome {
+	outs := s.arr.SubmitBatch(s.now(), blocks, sc)
 	for i, out := range outs {
 		bump(&st.shard[s.arr.ShardOf(blocks[i])])
+		if out.Rejected {
+			bump(&st.rejected)
+			continue
+		}
+		if out.Delayed {
+			bump(&st.delayed)
+			st.addDelay(out.Delay)
+		}
+		if hasHealth {
+			if m, local := s.monitorFor(out.Device); m != nil {
+				m.ReportSuccess(local, out.Response())
+			}
+		}
+	}
+	return outs
+}
+
+// submitBurstShard admits one shard's slice of a drained burst of
+// pipelined READ/WRITE frames sharing one arrival stamp (core.BurstReq
+// semantics: outcomes bit-identical to per-frame submitAt calls in input
+// order — per-shard admission state is independent, so shard-bucketed
+// submission preserves each shard's arrival order). The shard's request
+// counter is bumped once per (shard, burst) — the binary handler already
+// routed every block while decoding it; the rest of the accounting
+// matches submitAt. The scratch belongs to the calling connection.
+func (s *Server) submitBurstShard(st *stripe, sh int, reqs []core.BurstReq, sc *core.BurstScratch, hasHealth bool, arrival float64) []core.Outcome {
+	outs := s.arr.SubmitBurstShard(sh, arrival, reqs, sc)
+	c := &st.shard[sh]
+	c.Store(c.Load() + int64(len(reqs))) // single-writer, like bump
+	for _, out := range outs {
 		if out.Rejected {
 			bump(&st.rejected)
 			continue

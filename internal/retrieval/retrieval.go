@@ -165,11 +165,18 @@ func (c Completion) Response(arrival float64) float64 { return c.Finish - arriva
 // should be submitted together via SubmitBatch, which computes an optimal
 // joint assignment (with remapping) before scheduling.
 type Online struct {
-	service  float64 // per-block service time (e.g. 0.132507 ms)
-	n        int
-	nextFree []float64
-	busy     []float64  // cumulative service time per device
-	engine   *Scheduler // reusable batch-assignment engine
+	service float64 // per-block service time (e.g. 0.132507 ms)
+	n       int
+	dev     []onlineDev // interleaved per-device state: one cache line per submit
+	engine  *Scheduler  // reusable batch-assignment engine
+}
+
+// onlineDev keeps a device's scheduling state on one cache line so the
+// submit hot path (read next-free, write next-free + busy) touches a
+// single line per device instead of one per parallel slice.
+type onlineDev struct {
+	nextFree float64
+	busy     float64 // cumulative service time
 }
 
 // NewOnline creates an online scheduler for n devices with the given
@@ -178,7 +185,7 @@ func NewOnline(n int, service float64) *Online {
 	if n < 1 || service <= 0 {
 		panic(fmt.Sprintf("retrieval: invalid online scheduler (n=%d, service=%g)", n, service))
 	}
-	return &Online{service: service, n: n, nextFree: make([]float64, n), busy: make([]float64, n), engine: NewScheduler()}
+	return &Online{service: service, n: n, dev: make([]onlineDev, n), engine: NewScheduler()}
 }
 
 // Devices returns the device count.
@@ -188,18 +195,17 @@ func (o *Online) Devices() int { return o.n }
 func (o *Online) Service() float64 { return o.service }
 
 // NextFree returns the time device d becomes idle.
-func (o *Online) NextFree(d int) float64 { return o.nextFree[d] }
+func (o *Online) NextFree(d int) float64 { return o.dev[d].nextFree }
 
 // Reset clears all device state.
 func (o *Online) Reset() {
-	for i := range o.nextFree {
-		o.nextFree[i] = 0
-		o.busy[i] = 0
+	for i := range o.dev {
+		o.dev[i] = onlineDev{}
 	}
 }
 
 // BusyTime returns the cumulative service time scheduled on device d.
-func (o *Online) BusyTime(d int) float64 { return o.busy[d] }
+func (o *Online) BusyTime(d int) float64 { return o.dev[d].busy }
 
 // Utilization returns the mean busy fraction of all devices over [0, until].
 func (o *Online) Utilization(until float64) float64 {
@@ -207,8 +213,8 @@ func (o *Online) Utilization(until float64) float64 {
 		return 0
 	}
 	var total float64
-	for _, b := range o.busy {
-		total += b
+	for i := range o.dev {
+		total += o.dev[i].busy
 	}
 	return total / (float64(o.n) * until)
 }
@@ -237,8 +243,8 @@ func (o *Online) SubmitFor(t float64, replicas []int, service float64) Completio
 		}
 	}
 	finish := bestStart + service
-	o.nextFree[best] = finish
-	o.busy[best] += service
+	o.dev[best].nextFree = finish
+	o.dev[best].busy += service
 	return Completion{Device: best, Start: bestStart, Finish: finish}
 }
 
@@ -250,7 +256,7 @@ func (o *Online) NextFreeMasked(replicas []int, mask uint64) (t float64, ok bool
 		if mask&(1<<uint(d)) == 0 {
 			continue
 		}
-		if nf := o.nextFree[d]; !ok || nf < t {
+		if nf := o.dev[d].nextFree; !ok || nf < t {
 			t, ok = nf, true
 		}
 	}
@@ -284,14 +290,14 @@ func (o *Online) SubmitMaskedFor(t float64, replicas []int, mask uint64, service
 		return Completion{}, false
 	}
 	finish := bestStart + service
-	o.nextFree[best] = finish
-	o.busy[best] += service
+	o.dev[best].nextFree = finish
+	o.dev[best].busy += service
 	return Completion{Device: best, Start: bestStart, Finish: finish}, true
 }
 
 func (o *Online) startTime(t float64, d int) float64 {
-	if o.nextFree[d] > t {
-		return o.nextFree[d]
+	if nf := o.dev[d].nextFree; nf > t {
+		return nf
 	}
 	return t
 }
@@ -304,16 +310,31 @@ func (o *Online) SubmitBatch(t float64, replicas [][]int) []Completion {
 	if len(replicas) == 0 {
 		return nil
 	}
+	return o.SubmitBatchInto(t, replicas, make([]Completion, len(replicas)))
+}
+
+// SubmitBatchInto is SubmitBatch writing into caller-provided scratch: out
+// is grown as needed and returned re-sliced to len(replicas), so steady-
+// state reuse is allocation-free. Schedules and results are identical to
+// SubmitBatch.
+func (o *Online) SubmitBatchInto(t float64, replicas [][]int, out []Completion) []Completion {
+	if cap(out) < len(replicas) {
+		out = make([]Completion, len(replicas))
+	}
+	out = out[:len(replicas)]
+	if len(replicas) == 0 {
+		return out
+	}
 	if len(replicas) == 1 {
-		return []Completion{o.Submit(t, replicas[0])}
+		out[0] = o.Submit(t, replicas[0])
+		return out
 	}
 	res := o.engine.Optimal(replicas, o.n)
-	out := make([]Completion, len(replicas))
 	for i, d := range res.Assignment {
 		start := o.startTime(t, d)
 		finish := start + o.service
-		o.nextFree[d] = finish
-		o.busy[d] += o.service
+		o.dev[d].nextFree = finish
+		o.dev[d].busy += o.service
 		out[i] = Completion{Device: d, Start: start, Finish: finish}
 	}
 	return out
@@ -333,8 +354,8 @@ func (o *Online) IntervalBatch(alignedStart float64, replicas [][]int) []Complet
 	for i, d := range res.Assignment {
 		start := o.startTime(alignedStart, d)
 		finish := start + o.service
-		o.nextFree[d] = finish
-		o.busy[d] += o.service
+		o.dev[d].nextFree = finish
+		o.dev[d].busy += o.service
 		out[i] = Completion{Device: d, Start: start, Finish: finish}
 	}
 	return out

@@ -286,8 +286,8 @@ func TestOnlineBatchEngineMatchesWrapper(t *testing.T) {
 				start = nf
 			}
 			finish := start + service
-			b.nextFree[d] = finish
-			b.busy[d] += service
+			b.dev[d].nextFree = finish
+			b.dev[d].busy += service
 			cb[i] = Completion{Device: d, Start: start, Finish: finish}
 		}
 		if !reflect.DeepEqual(ca, cb) {

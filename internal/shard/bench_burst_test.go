@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"flashqos/internal/core"
+	"flashqos/internal/design"
+)
+
+// BenchmarkArraySubmitBurst exercises the scatter fan-out (one mixed burst
+// partitioned by index inside Array.SubmitBurst) with a reused scratch.
+// The shards=1 vs shards=4 pair isolates the sharded fan-out cost from
+// the network layer.
+func BenchmarkArraySubmitBurst(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, burst := range []int{16, 128} {
+			b.Run(fmt.Sprintf("shards=%d/burst=%d", shards, burst), func(b *testing.B) {
+				arr, err := New(shards, core.Config{Design: design.Paper931()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				interval := arr.IntervalMS()
+				var sc BurstScratch
+				reqs := make([]core.BurstReq, burst)
+				block := int64(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; {
+					for i := range reqs {
+						reqs[i] = core.BurstReq{Block: block}
+						block++
+					}
+					arrival := float64(n) * interval / 300 // ~300 reqs per wall window
+					arr.SubmitBurst(arrival, reqs, &sc)
+					n += burst
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkArraySubmitBurstShard mimics the qosnet binary hot path without
+// the socket: requests pre-bucketed by shard while "decoding" (as
+// handleBinary does), each bucket admitted contiguously through
+// SubmitBurstShard. This is the gather path the binary server runs.
+func BenchmarkArraySubmitBurstShard(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, burst := range []int{16, 128} {
+			b.Run(fmt.Sprintf("shards=%d/burst=%d", shards, burst), func(b *testing.B) {
+				arr, err := New(shards, core.Config{Design: design.Paper931()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				interval := arr.IntervalMS()
+				buckets := make([][]core.BurstReq, shards)
+				scs := make([]core.BurstScratch, shards)
+				block := int64(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; {
+					for i := range buckets {
+						buckets[i] = buckets[i][:0]
+					}
+					for i := 0; i < burst; i++ {
+						sh := 0
+						if shards > 1 {
+							sh = Route(block, shards)
+						}
+						buckets[sh] = append(buckets[sh], core.BurstReq{Block: block})
+						block++
+					}
+					arrival := float64(n) * interval / 300 // ~300 reqs per wall window
+					for sh := range buckets {
+						if len(buckets[sh]) > 0 {
+							arr.SubmitBurstShard(sh, arrival, buckets[sh], &scs[sh])
+						}
+					}
+					n += burst
+				}
+			})
+		}
+	}
+}

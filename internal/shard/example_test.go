@@ -24,5 +24,5 @@ func Example() {
 		arr.ShardOf(42), out.Device, sh, local, out.Response())
 	// Output:
 	// shards=4 devices=36 S=20
-	// block 42 -> shard 1 (device 10 = shard 1 local 1), response 0.133 ms
+	// block 42 -> shard 2 (device 19 = shard 2 local 1), response 0.133 ms
 }

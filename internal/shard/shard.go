@@ -28,18 +28,34 @@ type Array struct {
 	systems []*core.ConcurrentSystem
 	mons    []*health.Monitor // non-nil entries after NewHealthMonitors
 	devsPer int
+	// translate[i] is the offset the Array must still add to shard i's
+	// outcome devices: 0 when the system was built with DeviceBase i·N and
+	// already emits global ids (the shard.New fast path), i·N when it
+	// numbers from 0 (FromSystems over plain systems).
+	translate []int
 }
 
 // New builds an Array of k independent engines, each configured from cfg.
 // The shards share the configuration (and so the design, guarantee and
 // sampled table) but no state: every shard owns its ledger, scheduler and
-// mapper.
+// mapper. Shard i is built with DeviceBase i·N (overriding any base in
+// cfg), so outcomes carry global device ids straight out of the engine and
+// the fan-out paths skip the per-outcome translation.
 func New(k int, cfg core.Config) (*Array, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("shard: need >= 1 shard, got %d", k)
 	}
 	systems := make([]*core.System, k)
 	for i := range systems {
+		cfg.DeviceBase = 0
+		if i > 0 {
+			// Later shards reuse shard 0's immutable allocator (one shared
+			// replica table instead of k cache-competing copies) and number
+			// their devices from their own global base.
+			cfg.DeviceBase = i * systems[0].Design().N
+			cfg.Allocator = systems[0].Allocator()
+			cfg.Design = systems[0].Design()
+		}
 		sys, err := core.New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -52,19 +68,31 @@ func New(k int, cfg core.Config) (*Array, error) {
 // FromSystems builds an Array over already-constructed systems, wrapping
 // each for concurrent submission (the systems must not be used directly
 // afterwards; see core.NewConcurrent). All systems must span the same
-// number of devices — the global device numbering depends on it.
+// number of devices — the global device numbering depends on it. Each
+// system must number its devices either from 0 (the Array translates its
+// outcomes to the global numbering) or from its own global base i·N
+// (core.Config.DeviceBase, the shard.New fast path — no translation).
 func FromSystems(systems ...*core.System) (*Array, error) {
 	if len(systems) == 0 {
 		return nil, fmt.Errorf("shard: need >= 1 system")
 	}
 	a := &Array{
-		systems: make([]*core.ConcurrentSystem, len(systems)),
-		mons:    make([]*health.Monitor, len(systems)),
-		devsPer: systems[0].Design().N,
+		systems:   make([]*core.ConcurrentSystem, len(systems)),
+		mons:      make([]*health.Monitor, len(systems)),
+		devsPer:   systems[0].Design().N,
+		translate: make([]int, len(systems)),
 	}
 	for i, sys := range systems {
 		if n := sys.Design().N; n != a.devsPer {
 			return nil, fmt.Errorf("shard: shard %d spans %d devices, shard 0 spans %d", i, n, a.devsPer)
+		}
+		switch base := sys.DeviceBase(); base {
+		case i * a.devsPer:
+			a.translate[i] = 0
+		case 0:
+			a.translate[i] = i * a.devsPer
+		default:
+			return nil, fmt.Errorf("shard: shard %d has DeviceBase %d, want 0 or %d", i, base, i*a.devsPer)
 		}
 		a.systems[i] = core.NewConcurrent(sys)
 		a.mons[i] = sys.Health()
@@ -136,12 +164,16 @@ func mix(x uint64) uint64 {
 
 // Route returns the partition owning block among n equal partitions — the
 // hash-partitioning rule shared by in-process sharding (ShardOf) and the
-// qosproxy router tier, so any layer can predict block placement.
+// qosproxy router tier, so any layer can predict block placement. The
+// range reduction is a multiply-shift on the hash's high 32 bits
+// (Lemire's fastrange) rather than a modulo: the hash is full-avalanche,
+// so the high bits are as uniform as the low ones, and the hot submit
+// partition loop avoids a hardware divide per request.
 func Route(block int64, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return int(mix(uint64(block)) % uint64(n))
+	return int((mix(uint64(block)) >> 32) * uint64(n) >> 32)
 }
 
 // ShardOf returns the shard owning a data block.
@@ -150,13 +182,13 @@ func (a *Array) ShardOf(block int64) int {
 }
 
 // Submit routes one block read to its owning shard. The outcome's Device
-// is translated to the global numbering. Zero allocations in steady state
-// (the pinned sharded hot path).
+// is in the global numbering. Zero allocations in steady state (the
+// pinned sharded hot path).
 func (a *Array) Submit(arrival float64, block int64) core.Outcome {
 	i := a.ShardOf(block)
 	out := a.systems[i].Submit(arrival, block)
-	if !out.Rejected {
-		out.Device += i * a.devsPer
+	if off := a.translate[i]; off != 0 && !out.Rejected {
+		out.Device += off
 	}
 	return out
 }
@@ -165,42 +197,187 @@ func (a *Array) Submit(arrival float64, block int64) core.Outcome {
 func (a *Array) SubmitWrite(arrival float64, block int64) core.Outcome {
 	i := a.ShardOf(block)
 	out := a.systems[i].SubmitWrite(arrival, block)
-	if !out.Rejected {
-		out.Device += i * a.devsPer
+	if off := a.translate[i]; off != 0 && !out.Rejected {
+		out.Device += off
 	}
 	return out
+}
+
+// BatchScratch is per-caller reusable state for Array.SubmitBatch: the
+// per-shard partitions, the scatter buffer, and one core.BatchScratch per
+// shard. The zero value is ready to use; a nil scratch makes SubmitBatch
+// allocate. Outcomes returned against a scratch are valid until its next
+// use. Not safe for concurrent use — hold one per caller.
+type BatchScratch struct {
+	perBlocks [][]int64
+	perIdx    [][]int
+	out       []core.Outcome
+	core      []core.BatchScratch
+}
+
+func (sc *BatchScratch) ensure(k int) {
+	if cap(sc.perBlocks) < k {
+		sc.perBlocks = make([][]int64, k)
+		sc.perIdx = make([][]int, k)
+	}
+	sc.perBlocks = sc.perBlocks[:k]
+	sc.perIdx = sc.perIdx[:k]
+	if len(sc.core) < k {
+		sc.core = make([]core.BatchScratch, k)
+	}
+	for i := 0; i < k; i++ {
+		sc.perBlocks[i] = sc.perBlocks[i][:0]
+		sc.perIdx[i] = sc.perIdx[i][:0]
+	}
+}
+
+func (sc *BatchScratch) outBuf(n int) []core.Outcome {
+	if cap(sc.out) < n {
+		sc.out = make([]core.Outcome, n)
+	}
+	return sc.out[:n]
 }
 
 // SubmitBatch groups simultaneous requests by owning shard, admits each
 // group jointly (core.System.SubmitBatch semantics per shard), and
 // scatters the outcomes back into input order with global device ids.
-func (a *Array) SubmitBatch(arrival float64, blocks []int64) []core.Outcome {
+// With a non-nil scratch the steady state is allocation-free.
+func (a *Array) SubmitBatch(arrival float64, blocks []int64, sc *BatchScratch) []core.Outcome {
 	if len(blocks) == 0 {
 		return nil
 	}
-	if len(a.systems) == 1 {
-		return a.systems[0].SubmitBatch(arrival, blocks)
+	if sc == nil {
+		sc = &BatchScratch{}
 	}
-	perBlocks := make([][]int64, len(a.systems))
-	perIdx := make([][]int, len(a.systems))
+	sc.ensure(len(a.systems))
+	if len(a.systems) == 1 {
+		return a.systems[0].SubmitBatch(arrival, blocks, &sc.core[0])
+	}
+	perBlocks, perIdx := sc.perBlocks, sc.perIdx
 	for j, b := range blocks {
 		i := a.ShardOf(b)
 		perBlocks[i] = append(perBlocks[i], b)
 		perIdx[i] = append(perIdx[i], j)
 	}
-	out := make([]core.Outcome, len(blocks))
+	sc.perBlocks, sc.perIdx = perBlocks, perIdx // keep grown backing
+	out := sc.outBuf(len(blocks))
 	for i, bs := range perBlocks {
 		if len(bs) == 0 {
 			continue
 		}
-		for k, o := range a.systems[i].SubmitBatch(arrival, bs) {
-			if !o.Rejected {
-				o.Device += i * a.devsPer
+		off := a.translate[i]
+		for k, o := range a.systems[i].SubmitBatch(arrival, bs, &sc.core[i]) {
+			if off != 0 && !o.Rejected {
+				o.Device += off
 			}
 			out[perIdx[i][k]] = o
 		}
 	}
 	return out
+}
+
+// BurstScratch is per-caller reusable state for Array.SubmitBurst. The
+// zero value is ready to use; a nil scratch makes SubmitBurst allocate.
+// Outcomes returned against a scratch are valid until its next use. Not
+// safe for concurrent use — hold one per caller (e.g. per connection).
+type BurstScratch struct {
+	perIdx [][]int32
+	counts []int
+	outs   []core.Outcome
+	core   []core.BurstScratch // shard 0's scratch serves the K == 1 path
+}
+
+func (sc *BurstScratch) ensure(k int) {
+	if cap(sc.perIdx) < k {
+		sc.perIdx = make([][]int32, k)
+	}
+	sc.perIdx = sc.perIdx[:k]
+	if cap(sc.counts) < k {
+		sc.counts = make([]int, k)
+	}
+	sc.counts = sc.counts[:k]
+	if len(sc.core) < 1 {
+		sc.core = make([]core.BurstScratch, 1)
+	}
+	for i := 0; i < k; i++ {
+		sc.perIdx[i] = sc.perIdx[i][:0]
+		sc.counts[i] = 0
+	}
+}
+
+func (sc *BurstScratch) outBuf(n int) []core.Outcome {
+	if cap(sc.outs) < n {
+		sc.outs = make([]core.Outcome, n)
+	}
+	return sc.outs[:n]
+}
+
+// PerShard returns how many of the last burst's requests were routed to
+// each shard — the per-shard counters the server bumps once per burst
+// instead of re-hashing every block. Valid until the scratch's next use.
+func (sc *BurstScratch) PerShard() []int { return sc.counts }
+
+// SubmitBurst routes a burst of simultaneous requests to their owning
+// shards — each shard's ledger stripes are touched once per burst, not
+// once per request — with outcomes in input order carrying global device
+// ids. The partition is by index only and each shard writes its outcomes
+// into the shared result slice in place (core.ConcurrentSystem.SubmitBurstScatter),
+// so the fan-out copies no requests and no outcomes. Outcomes are
+// bit-identical to routing each request through Submit/SubmitWrite in
+// input order. With a non-nil scratch the steady state is allocation-free.
+func (a *Array) SubmitBurst(arrival float64, reqs []core.BurstReq, sc *BurstScratch) []core.Outcome {
+	if sc == nil {
+		sc = &BurstScratch{}
+	}
+	sc.ensure(len(a.systems))
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(a.systems) == 1 {
+		sc.counts[0] = len(reqs)
+		return a.systems[0].SubmitBurst(arrival, reqs, &sc.core[0])
+	}
+	perIdx := sc.perIdx
+	for j := range reqs {
+		i := a.ShardOf(reqs[j].Block)
+		perIdx[i] = append(perIdx[i], int32(j))
+	}
+	sc.perIdx = perIdx // keep grown backing
+	out := sc.outBuf(len(reqs))
+	for i, idx := range perIdx {
+		sc.counts[i] = len(idx)
+		if len(idx) == 0 {
+			continue
+		}
+		a.systems[i].SubmitBurstScatter(arrival, reqs, idx, out)
+		if off := a.translate[i]; off != 0 {
+			for _, j := range idx {
+				if !out[j].Rejected {
+					out[j].Device += off
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SubmitBurstShard admits a burst whose requests all belong to shard sh
+// (per Route/ShardOf) — the pre-partitioned entry point for callers that
+// bucket requests by shard while decoding them, which keeps the engine's
+// inner loop free of scatter indirection. Outcomes are in input order
+// with global device ids, bit-identical to the same subsequence routed
+// through SubmitBurst. The scratch belongs to the caller (one per
+// (connection, shard)); nil allocates.
+func (a *Array) SubmitBurstShard(sh int, arrival float64, reqs []core.BurstReq, sc *core.BurstScratch) []core.Outcome {
+	outs := a.systems[sh].SubmitBurst(arrival, reqs, sc)
+	if off := a.translate[sh]; off != 0 {
+		for i := range outs {
+			if !outs[i].Rejected {
+				outs[i].Device += off
+			}
+		}
+	}
+	return outs
 }
 
 // S returns the aggregate admission limit: K·S(M) guaranteed requests per

@@ -148,7 +148,7 @@ func TestShardBatchOrder(t *testing.T) {
 	for i := range blocks {
 		blocks[i] = int64(i * 31)
 	}
-	outs := a.SubmitBatch(0, blocks)
+	outs := a.SubmitBatch(0, blocks, nil)
 	if len(outs) != len(blocks) {
 		t.Fatalf("got %d outcomes for %d blocks", len(outs), len(blocks))
 	}
@@ -160,7 +160,7 @@ func TestShardBatchOrder(t *testing.T) {
 			t.Errorf("outcome %d on device %d, not in shard %d owning block %d", j, out.Device, want, blocks[j])
 		}
 	}
-	if a.SubmitBatch(1, nil) != nil {
+	if a.SubmitBatch(1, nil, nil) != nil {
 		t.Error("empty batch should return nil")
 	}
 }
@@ -244,7 +244,7 @@ func TestShardConstructors(t *testing.T) {
 	if out.Rejected || out.Device < 0 || out.Device >= 9 {
 		t.Errorf("single-shard submit: %+v", out)
 	}
-	if outs := one.SubmitBatch(1, []int64{1, 2, 3}); len(outs) != 3 {
+	if outs := one.SubmitBatch(1, []int64{1, 2, 3}, nil); len(outs) != 3 {
 		t.Errorf("single-shard batch returned %d outcomes", len(outs))
 	}
 }

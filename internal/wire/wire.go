@@ -415,6 +415,16 @@ func AppendOutcome(buf []byte, o Outcome) []byte {
 	return append(buf, o.Status)
 }
 
+// AppendOutcomeFrame appends one complete SUBMIT/WRITE completion frame —
+// header plus 21-byte outcome, Len derived — to buf. The server's burst
+// path encodes a whole pipelined burst's responses append-style into one
+// scratch buffer with it and flushes them in a single write.
+func AppendOutcomeFrame(buf []byte, h Header, o Outcome) []byte {
+	h.Len = OutcomeSize
+	buf = AppendHeader(buf, h)
+	return AppendOutcome(buf, o)
+}
+
 // ParseOutcome decodes one Outcome, returning the remaining bytes.
 func ParseOutcome(b []byte) (Outcome, []byte, error) {
 	if len(b) < OutcomeSize {

@@ -163,6 +163,49 @@ func TestOutcomeCodec(t *testing.T) {
 	}
 }
 
+// TestAppendOutcomeFrame checks the multi-frame append encoder produces
+// exactly the bytes Writer.WriteOutcome puts on the wire — complete
+// header with Len forced to OutcomeSize, then the outcome — so a burst
+// response buffer decodes as a plain frame sequence, and that appending
+// into a warm buffer allocates nothing.
+func TestAppendOutcomeFrame(t *testing.T) {
+	outs := []Outcome{
+		{Device: 4, RespMS: 0.132507},
+		{Device: -1, Status: StatusRejected},
+		{Device: 7, DelayMS: 0.5, RespMS: 1.0, Status: StatusDelayed},
+	}
+	var buf []byte
+	for i, o := range outs {
+		buf = AppendOutcomeFrame(buf, Header{Opcode: OpSubmit, ID: uint64(i + 1), Len: 999}, o)
+	}
+	if len(buf) != len(outs)*(HeaderSize+OutcomeSize) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), len(outs)*(HeaderSize+OutcomeSize))
+	}
+	rd := NewReader(bufio.NewReader(bytes.NewReader(buf)), 0)
+	for i, want := range outs {
+		h, p, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h.Opcode != OpSubmit || h.ID != uint64(i+1) || h.Len != OutcomeSize {
+			t.Errorf("frame %d header %+v", i, h)
+		}
+		got, rest, err := ParseOutcome(p)
+		if err != nil || len(rest) != 0 || got != want {
+			t.Errorf("frame %d outcome %+v (err %v), want %+v", i, got, err, want)
+		}
+	}
+	scratch := make([]byte, 0, 4*(HeaderSize+OutcomeSize))
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = scratch[:0]
+		for i, o := range outs {
+			scratch = AppendOutcomeFrame(scratch, Header{Opcode: OpSubmit, ID: uint64(i)}, o)
+		}
+	}); n != 0 {
+		t.Errorf("AppendOutcomeFrame allocates %.1f per run on warm buffer, want 0", n)
+	}
+}
+
 func TestBlockAndBatchCodec(t *testing.T) {
 	b := AppendBlock(nil, -42)
 	if v, err := ParseBlock(b); err != nil || v != -42 {
