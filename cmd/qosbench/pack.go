@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"flashqos/internal/pack"
+)
+
+// printPack microbenchmarks the pack storage engine on real files in a
+// temp directory: an append-heavy write stream (no fsync, pure engine
+// cost), group-committed durable writes, and random reads from a resident
+// working set. Results print as ns/op plus payload throughput, matching
+// the go-bench lines gated by cmd/benchgate in CI.
+func printPack(w io.Writer) error {
+	const (
+		payload  = 4096
+		resident = 4096 // blocks preloaded for the read benchmark
+	)
+	dir, err := os.MkdirTemp("", "qosbench-pack-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	buf := make([]byte, payload)
+	for i := range buf {
+		buf[i] = byte(i * 13)
+	}
+
+	appendRes := testing.Benchmark(func(b *testing.B) {
+		st, err := pack.Open(dir+"/append", 4, pack.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.SetBytes(payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Put(i&3, int64(i), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	syncedRes := testing.Benchmark(func(b *testing.B) {
+		st, err := pack.Open(dir+"/synced", 4, pack.Options{SyncInterval: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.SetBytes(payload)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if err := st.Put(i&3, int64(i), buf); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+
+	getRes := testing.Benchmark(func(b *testing.B) {
+		st, err := pack.Open(dir+"/read", 4, pack.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < resident; i++ {
+			if err := st.Put(i&3, int64(i), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var dst []byte
+		b.SetBytes(payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blk := int64((i * 2654435761) % resident)
+			dst, err = st.Get(int(blk)&3, blk, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	fmt.Fprintf(w, "pack storage engine, %d-byte payloads:\n", payload)
+	line := func(name string, r testing.BenchmarkResult) {
+		perOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		mbs := float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		fmt.Fprintf(w, "  %-24s %10d ops %12.0f ns/op %10.1f MB/s\n", name, r.N, perOp, mbs)
+	}
+	line("append (no fsync)", appendRes)
+	line("put (group commit)", syncedRes)
+	line("random read", getRes)
+	return nil
+}

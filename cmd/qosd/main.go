@@ -21,6 +21,13 @@
 // devices are out of service, and a token-bucket rebuild scheduler
 // re-replicates in the background. Tune with -suspect-after, -fail-after
 // and -rebuild-rate, or disable with -no-health.
+//
+// With -backend pack -data-dir DIR the server stores real bytes: one
+// append-only volume file per device under DIR (see internal/pack), the
+// binary GET/PUT verbs serve payloads with QoS admission in front, media
+// faults feed the health monitor, and the rebuild scheduler copies real
+// payloads during reprotect/resilver. -backend mem|flashsim keep the
+// timing-only simulators (the default).
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 
 	"flashqos/internal/core"
 	"flashqos/internal/health"
+	"flashqos/internal/pack"
 	"flashqos/internal/qosnet"
 	"flashqos/internal/sampling"
 	"flashqos/internal/shard"
@@ -62,10 +70,33 @@ func main() {
 		suspectAfter = flag.Int("suspect-after", 3, "consecutive errors before a device turns Suspect")
 		failAfter    = flag.Int("fail-after", 10, "consecutive errors before a Suspect device turns Failed")
 		rebuildRate  = flag.Float64("rebuild-rate", 200, "background rebuild rate cap, bucket copies per second (0 = no rebuild; RECOVER promotes immediately)")
+
+		backend       = flag.String("backend", "flashsim", "storage backend: flashsim, mem, or pack (real bytes; needs -data-dir)")
+		dataDir       = flag.String("data-dir", "", "volume directory for -backend pack")
+		packSync      = flag.Duration("pack-sync", pack.DefaultSyncInterval, "pack group-commit fsync interval")
+		packSyncBytes = flag.Int("pack-sync-bytes", pack.DefaultSyncBytes, "pack unsynced-byte threshold that kicks an early fsync")
 	)
 	flag.Parse()
 
 	cfg := core.Config{N: *n, C: *c, M: *m, Epsilon: *epsilon}
+	var packBE *core.PackBackend
+	switch *backend {
+	case "flashsim":
+		// Default backend; leave cfg.Backend nil.
+	case "mem":
+		cfg.Backend = core.MemBackend{}
+	case "pack":
+		if *dataDir == "" {
+			log.Fatal("qosd: -backend pack requires -data-dir")
+		}
+		packBE = &core.PackBackend{
+			Dir:  *dataDir,
+			Opts: pack.Options{SyncInterval: *packSync, SyncBytes: *packSyncBytes},
+		}
+		cfg.Backend = packBE
+	default:
+		log.Fatalf("qosd: bad -backend %q (want flashsim, mem, or pack)", *backend)
+	}
 	if *table != "" {
 		f, err := os.Open(*table)
 		if err != nil {
@@ -82,11 +113,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var store *pack.Store
+	if packBE != nil {
+		store, err = packBE.Open(arr.Devices())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+	}
 	if !*noHealth {
-		err := arr.NewHealthMonitors(*rebuildRate, health.Config{
+		hcfg := health.Config{
 			SuspectAfter: *suspectAfter,
 			FailAfter:    *failAfter,
-		})
+		}
+		if store != nil {
+			// Rebuild passes move the real payloads, not just the schedule.
+			err = arr.NewHealthMonitorsWithCopy(*rebuildRate, hcfg, qosnet.RebuildCopy(arr, store))
+		} else {
+			err = arr.NewHealthMonitors(*rebuildRate, hcfg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,12 +147,16 @@ func main() {
 	default:
 		log.Fatalf("qosd: bad -proto %q (want text, binary, or both)", *proto)
 	}
-	srv := qosnet.NewServerSharded(arr, qosnet.Options{
+	opts := qosnet.Options{
 		MaxConns:     *maxConns,
 		ReadTimeout:  *readTimeout,
 		MaxLineBytes: *maxLine,
 		Proto:        protoMode,
-	})
+	}
+	if store != nil {
+		opts.Store = store
+	}
+	srv := qosnet.NewServerSharded(arr, opts)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -123,8 +172,8 @@ func main() {
 		healthMode = fmt.Sprintf("on (suspect-after=%d fail-after=%d rebuild-rate=%g/s)",
 			*suspectAfter, *failAfter, *rebuildRate)
 	}
-	fmt.Printf("qosd: (%d,%d,1) design, M=%d, shards=%d, devices=%d, S=%d, epsilon=%g, health %s, proto %s, listening on %s\n",
-		*n, *c, *m, arr.Shards(), arr.Devices(), arr.S(), *epsilon, healthMode, *proto, bound)
+	fmt.Printf("qosd: (%d,%d,1) design, M=%d, shards=%d, devices=%d, S=%d, epsilon=%g, backend %s, health %s, proto %s, listening on %s\n",
+		*n, *c, *m, arr.Shards(), arr.Devices(), arr.S(), *epsilon, *backend, healthMode, *proto, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -139,6 +188,12 @@ func main() {
 	}
 	if err := <-drained; err != nil {
 		fmt.Printf("qosd: %v\n", err)
+	}
+	if store != nil {
+		// Flush the group-commit tail before announcing a clean exit.
+		if err := store.Close(); err != nil {
+			fmt.Printf("qosd: store close: %v\n", err)
+		}
 	}
 	fmt.Println("qosd: bye")
 }

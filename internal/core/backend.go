@@ -33,11 +33,20 @@ type Backend interface {
 // no-admission-control path ReplayOriginalOn drives.
 type Array interface {
 	// Submit enqueues one read for a specific device. Arrivals must be
-	// non-decreasing relative to completions already drained.
-	Submit(id int64, arrivalMS float64, device int, block int64)
+	// non-decreasing relative to completions already drained. An
+	// out-of-range device is rejected with an error by every backend — the
+	// seam validates, callers need not pre-check.
+	Submit(id int64, arrivalMS float64, device int, block int64) error
 	// Drain runs all submitted requests to completion and returns them in
 	// completion order.
 	Drain() []ArrayCompletion
+}
+
+// errDeviceRange is the uniform out-of-range error every backend's Array
+// returns from Submit, so callers can report it identically regardless of
+// the backend behind the seam.
+func errDeviceRange(backend string, device, n int) error {
+	return fmt.Errorf("core: %s backend device %d out of range [0,%d)", backend, device, n)
 }
 
 // ArrayCompletion reports one finished raw request.
@@ -85,15 +94,22 @@ func (simBackend) NewArray(devices int, readServiceMS float64) (Array, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &simArray{arr: arr}, nil
+	return &simArray{arr: arr, devices: devices}, nil
 }
 
 type simArray struct {
-	arr *flashsim.Array
+	arr     *flashsim.Array
+	devices int
 }
 
-func (a *simArray) Submit(id int64, arrivalMS float64, device int, block int64) {
+func (a *simArray) Submit(id int64, arrivalMS float64, device int, block int64) error {
+	// Validate here rather than letting flashsim panic deep in its event
+	// loop: the seam owns the bounds contract.
+	if device < 0 || device >= a.devices {
+		return errDeviceRange("flashsim", device, a.devices)
+	}
 	a.arr.Submit(flashsim.Request{ID: id, Arrival: arrivalMS, Module: device, Block: block})
+	return nil
 }
 
 func (a *simArray) Drain() []ArrayCompletion {
@@ -145,7 +161,7 @@ func (b MemBackend) NewArray(devices int, readServiceMS float64) (Array, error) 
 	if readServiceMS <= 0 {
 		readServiceMS = b.ReadLatencyMS()
 	}
-	return &memArray{free: make([]float64, devices), service: readServiceMS}, nil
+	return &memArray{name: "mem", free: make([]float64, devices), service: readServiceMS}, nil
 }
 
 type memReq struct {
@@ -155,18 +171,20 @@ type memReq struct {
 }
 
 type memArray struct {
+	name    string    // backend name for error reporting ("mem", "pack")
 	free    []float64 // per-device next-free time
 	service float64
 	queue   []memReq
 	seq     int
 }
 
-func (a *memArray) Submit(id int64, arrivalMS float64, device int, block int64) {
+func (a *memArray) Submit(id int64, arrivalMS float64, device int, block int64) error {
 	if device < 0 || device >= len(a.free) {
-		panic(fmt.Sprintf("core: mem backend device %d out of range [0,%d)", device, len(a.free)))
+		return errDeviceRange(a.name, device, len(a.free))
 	}
 	a.queue = append(a.queue, memReq{seq: a.seq, arrival: arrivalMS, device: device})
 	a.seq++
+	return nil
 }
 
 // Drain serves the queued requests FIFO per device (arrival order, with

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"flashqos/internal/flashsim"
@@ -95,5 +97,39 @@ func TestMemBackendFIFOOrder(t *testing.T) {
 	}
 	if cs[2].StartMS != 1 || cs[2].ArrivalMS != 0.5 {
 		t.Errorf("queued request start %g arrival %g, want start 1 arrival 0.5", cs[2].StartMS, cs[2].ArrivalMS)
+	}
+}
+
+// TestArraySubmitDeviceBounds pins the unified bounds contract at the
+// Backend seam: every backend's Array rejects an out-of-range device with
+// an error (no panic, no silent forwarding into the backend's internals),
+// and in-range submissions still drain normally afterwards.
+func TestArraySubmitDeviceBounds(t *testing.T) {
+	backends := []Backend{
+		DefaultBackend(),
+		MemBackend{},
+		&PackBackend{Dir: t.TempDir()},
+	}
+	for _, b := range backends {
+		arr, err := b.NewArray(4, 1)
+		if err != nil {
+			t.Fatalf("%s: NewArray: %v", b.Name(), err)
+		}
+		for _, dev := range []int{-1, 4, 1000} {
+			err := arr.Submit(1, 0, dev, 7)
+			if err == nil {
+				t.Fatalf("%s: Submit(device=%d) accepted an out-of-range device", b.Name(), dev)
+			}
+			want := fmt.Sprintf("device %d out of range [0,4)", dev)
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: Submit(device=%d) error %q, want it to mention %q", b.Name(), dev, err, want)
+			}
+		}
+		if err := arr.Submit(2, 0, 3, 7); err != nil {
+			t.Fatalf("%s: in-range Submit failed: %v", b.Name(), err)
+		}
+		if cs := arr.Drain(); len(cs) != 1 || cs[0].Device != 3 {
+			t.Fatalf("%s: Drain after rejected submits = %+v, want one completion on device 3", b.Name(), cs)
+		}
 	}
 }

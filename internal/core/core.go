@@ -541,7 +541,9 @@ func ReplayOriginalOn(b Backend, tr *trace.Trace, devices int, serviceMS float64
 			continue
 		}
 		id++
-		arr.Submit(id, r.Arrival, r.Device%devices, r.Block)
+		if err := arr.Submit(id, r.Arrival, r.Device%devices, r.Block); err != nil {
+			return nil, err
+		}
 	}
 	cs := arr.Drain()
 	rep := &Report{Name: tr.Name + " (original)"}

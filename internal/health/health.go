@@ -387,12 +387,12 @@ func (m *Monitor) transitionLocked(d int, from, to State) {
 			// redundancy is restored while the module is gone. A stale
 			// resilver (device died again mid-rebuild) is dropped first.
 			m.reb.cancel(d)
-			m.reb.enqueue(d, reprotect)
+			m.reb.enqueue(d, Reprotect)
 		case Rebuilding:
 			// Resilver: copy the device's buckets back onto the
 			// replacement before it rejoins the mask.
 			m.reb.cancel(d)
-			m.reb.enqueue(d, resilver)
+			m.reb.enqueue(d, Resilver)
 		case Healthy, Suspect:
 			m.reb.cancel(d)
 		}

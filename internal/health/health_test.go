@@ -210,7 +210,7 @@ func TestRebuildFlowAndRateCap(t *testing.T) {
 		t.Fatalf("re-protect incomplete: pending=%d done=%d", pending, done)
 	}
 	for _, k := range copies {
-		if k != reprotect {
+		if k != Reprotect {
 			t.Fatalf("unexpected copy kind %v during failed phase", k)
 		}
 	}
@@ -241,7 +241,7 @@ func TestRebuildFlowAndRateCap(t *testing.T) {
 		t.Fatal("mask not restored after resilver")
 	}
 	for _, k := range copies {
-		if k != resilver {
+		if k != Resilver {
 			t.Fatalf("unexpected copy kind %v during rebuilding phase", k)
 		}
 	}

@@ -35,15 +35,15 @@ type RebuildConfig struct {
 type RebuildKind int
 
 const (
-	// reprotect copies a failed device's buckets onto survivors.
-	reprotect RebuildKind = iota
-	// resilver copies buckets back onto a recovered device.
-	resilver
+	// Reprotect copies a failed device's buckets onto survivors.
+	Reprotect RebuildKind = iota
+	// Resilver copies buckets back onto a recovered device.
+	Resilver
 )
 
 // String implements fmt.Stringer.
 func (k RebuildKind) String() string {
-	if k == reprotect {
+	if k == Reprotect {
 		return "reprotect"
 	}
 	return "resilver"
@@ -120,7 +120,7 @@ func (r *rebuilder) step(nowMS float64) (n int, drained []int) {
 		if r.cfg.Copy != nil {
 			r.cfg.Copy(j.dev, j.bucket, j.kind)
 		}
-		if j.kind == resilver && !r.hasWork(j.dev) {
+		if j.kind == Resilver && !r.hasWork(j.dev) {
 			drained = append(drained, j.dev)
 		}
 	}

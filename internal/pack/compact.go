@@ -1,0 +1,123 @@
+package pack
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Compact rewrites device dev's volume with only its live needles —
+// superseded records are dropped — and atomically swaps it in place
+// (write to a temp file, fsync, rename over the volume, fsync the
+// directory). Concurrent gets and puts on other devices proceed; the
+// device being compacted blocks for the duration.
+func (s *Store) Compact(dev int) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	v, err := s.vol(dev)
+	if err != nil {
+		return err
+	}
+	return v.compact(s.opts.MaxPayload)
+}
+
+// CompactAll compacts every volume whose garbage exceeds minGarbage bytes.
+func (s *Store) CompactAll(minGarbage int64) error {
+	for d := range s.vols {
+		if s.Stats(d).Garbage <= minGarbage {
+			continue
+		}
+		if err := s.Compact(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *volume) compact(maxPayload int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	tmpPath := v.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pack: %w", err)
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	// Copy live needles in file order — sequential reads, and the rewritten
+	// volume keeps the original append order.
+	type ent struct {
+		block int64
+		r     rec
+	}
+	ents := make([]ent, 0, len(v.index))
+	for b, r := range v.index {
+		ents = append(ents, ent{b, r})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].r.off < ents[j].r.off })
+	var (
+		off      int64
+		buf      []byte
+		newIndex = make(map[int64]rec, len(ents))
+	)
+	for _, e := range ents {
+		total := needleHeaderSize + int(e.r.size)
+		if total > cap(buf) {
+			buf = make([]byte, total)
+		}
+		b := buf[:total]
+		if _, err := v.f.ReadAt(b, e.r.off); err != nil {
+			return fail(fmt.Errorf("pack: compact read %s at %d: %w", filepath.Base(v.path), e.r.off, err))
+		}
+		// A live needle that no longer validates is real corruption, not
+		// garbage — keep the volume as-is and surface it.
+		if _, _, _, err := DecodeNeedle(b, maxPayload); err != nil {
+			return fail(fmt.Errorf("pack: compact %s block %d at %d: %w", filepath.Base(v.path), e.block, e.r.off, err))
+		}
+		if _, err := tmp.WriteAt(b, off); err != nil {
+			return fail(fmt.Errorf("pack: compact write: %w", err))
+		}
+		newIndex[e.block] = rec{off: off, size: e.r.size}
+		off += int64(total)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("pack: compact fsync: %w", err))
+	}
+	if err := os.Rename(tmpPath, v.path); err != nil {
+		return fail(fmt.Errorf("pack: compact rename: %w", err))
+	}
+	if err := syncDir(filepath.Dir(v.path)); err != nil {
+		// The rename itself succeeded; the swapped file is live. Report the
+		// directory sync failure without abandoning the new handle.
+		v.swapCompacted(tmp, newIndex, off)
+		return err
+	}
+	v.swapCompacted(tmp, newIndex, off)
+	return nil
+}
+
+// swapCompacted installs the rewritten file. Everything in it was fsynced
+// before the rename, so the durable watermark jumps to the new size and
+// the generation bump releases Puts waiting on old-file offsets (their
+// needles were live, hence carried over and already durable).
+func (v *volume) swapCompacted(tmp *os.File, newIndex map[int64]rec, size int64) {
+	old := v.f
+	v.f = tmp
+	v.index = newIndex
+	v.size = size
+	v.garbage = 0
+	v.sm.Lock()
+	v.gen++
+	v.synced = size
+	v.sm.Unlock()
+	v.cond.Broadcast()
+	old.Close()
+}

@@ -1,0 +1,49 @@
+package pack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNeedleDecode holds DecodeNeedle to its contract: arbitrary bytes —
+// corrupt headers, bad CRCs, truncated payloads, hostile length fields —
+// never panic and never decode to something AppendNeedle would not have
+// produced.
+func FuzzNeedleDecode(f *testing.F) {
+	f.Add(AppendNeedle(nil, 0, nil))
+	f.Add(AppendNeedle(nil, 42, []byte("hello, volume")))
+	f.Add(AppendNeedle(nil, -1, bytes.Repeat([]byte{0xA5}, 300)))
+	// Corrupt variants of a valid record.
+	valid := AppendNeedle(nil, 7, bytes.Repeat([]byte{3}, 64))
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[17] ^= 1
+	f.Add(badCRC)
+	f.Add(valid[:needleHeaderSize+10]) // torn payload
+	f.Add(valid[:needleHeaderSize-3])  // torn header
+	hugeLen := append([]byte(nil), valid...)
+	hugeLen[12], hugeLen[13], hugeLen[14], hugeLen[15] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(hugeLen)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, maxPayload := range []int{0, 16, DefaultMaxPayload} {
+			block, payload, n, err := DecodeNeedle(b, maxPayload)
+			if err != nil {
+				continue
+			}
+			if n < needleHeaderSize || n > len(b) {
+				t.Fatalf("accepted size %d outside [%d,%d]", n, needleHeaderSize, len(b))
+			}
+			if len(payload) != n-needleHeaderSize {
+				t.Fatalf("payload len %d inconsistent with size %d", len(payload), n)
+			}
+			// An accepted record must re-encode to the exact accepted bytes.
+			if enc := AppendNeedle(nil, block, payload); !bytes.Equal(enc, b[:n]) {
+				t.Fatal("accepted needle does not round-trip")
+			}
+		}
+	})
+}

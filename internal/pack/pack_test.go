@@ -1,0 +1,416 @@
+package pack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps group-commit waits short in tests.
+var fastOpts = Options{SyncInterval: time.Millisecond}
+
+func payloadFor(block int64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int64(i)*7 + block*13 + 5)
+	}
+	return b
+}
+
+func TestNeedleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 512, 1 << 16} {
+		payload := payloadFor(42, n)
+		enc := AppendNeedle(nil, 42, payload)
+		if len(enc) != needleHeaderSize+n {
+			t.Fatalf("encoded size = %d, want %d", len(enc), needleHeaderSize+n)
+		}
+		block, got, total, err := DecodeNeedle(enc, 0)
+		if err != nil {
+			t.Fatalf("decode(%d bytes): %v", n, err)
+		}
+		if block != 42 || total != len(enc) || !bytes.Equal(got, payload) {
+			t.Fatalf("decode(%d bytes) = block %d total %d, payload mismatch=%v",
+				n, block, total, !bytes.Equal(got, payload))
+		}
+	}
+}
+
+func TestNeedleDecodeErrors(t *testing.T) {
+	valid := AppendNeedle(nil, 7, payloadFor(7, 64))
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short header", func(b []byte) []byte { return b[:needleHeaderSize-1] }, ErrTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrTruncated},
+		{"flipped payload byte", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, ErrChecksum},
+		{"flipped block byte", func(b []byte) []byte { b[5] ^= 1; return b }, ErrChecksum},
+		{"oversized length", func(b []byte) []byte { b[12], b[13], b[14], b[15] = 0xFF, 0xFF, 0xFF, 0x7F; return b }, ErrTooLarge},
+	}
+	for _, tc := range cases {
+		b := tc.mut(append([]byte(nil), valid...))
+		if _, _, _, err := DecodeNeedle(b, 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 4, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for dev := 0; dev < 4; dev++ {
+		for b := int64(0); b < 16; b++ {
+			if err := s.Put(dev, b, payloadFor(b+int64(dev)*100, 100+int(b))); err != nil {
+				t.Fatalf("put dev %d block %d: %v", dev, b, err)
+			}
+		}
+	}
+	var dst []byte
+	for dev := 0; dev < 4; dev++ {
+		for b := int64(0); b < 16; b++ {
+			dst, err = s.Get(dev, b, dst[:0])
+			if err != nil {
+				t.Fatalf("get dev %d block %d: %v", dev, b, err)
+			}
+			if want := payloadFor(b+int64(dev)*100, 100+int(b)); !bytes.Equal(dst, want) {
+				t.Fatalf("dev %d block %d: payload mismatch", dev, b)
+			}
+		}
+	}
+	if _, err := s.Get(0, 999, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing block: err = %v, want ErrNotFound", err)
+	}
+	if s.Has(0, 999) || !s.Has(0, 3) {
+		t.Fatal("Has disagrees with contents")
+	}
+	if got := len(s.Blocks(1, nil)); got != 16 {
+		t.Fatalf("Blocks(1) = %d entries, want 16", got)
+	}
+}
+
+func TestStoreOverwriteAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 2, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, 5, payloadFor(1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, 5, payloadFor(2, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Stats(1).Garbage; g != int64(needleHeaderSize+64) {
+		t.Fatalf("garbage = %d, want %d", g, needleHeaderSize+64)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the index rebuild must surface the latest version only.
+	s2, err := Open(dir, 2, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Get(1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloadFor(2, 128)) {
+		t.Fatal("reopened store served the superseded version")
+	}
+	if g := s2.Stats(1).Garbage; g != int64(needleHeaderSize+64) {
+		t.Fatalf("garbage after reopen = %d, want %d", g, needleHeaderSize+64)
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := int64(0); b < 8; b++ {
+		if err := s.Put(0, b, payloadFor(b, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := s.Stats(0).Bytes
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vol-0000.pack")
+	// Torn tail: a header claiming 1000 payload bytes, followed by only 10.
+	torn := AppendNeedle(nil, 99, payloadFor(99, 1000))[:needleHeaderSize+10]
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats(0).Bytes; got != goodSize {
+		t.Fatalf("recovered size = %d, want %d (torn tail not truncated)", got, goodSize)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != goodSize {
+		t.Fatalf("file size = %d, want %d", fi.Size(), goodSize)
+	}
+	if s2.Has(0, 99) {
+		t.Fatal("torn needle got indexed")
+	}
+	for b := int64(0); b < 8; b++ {
+		got, err := s2.Get(0, b, nil)
+		if err != nil || !bytes.Equal(got, payloadFor(b, 200)) {
+			t.Fatalf("block %d did not survive recovery: %v", b, err)
+		}
+	}
+}
+
+func TestRecoveryStopsAtCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for b := int64(0); b < 4; b++ {
+		offsets = append(offsets, s.Stats(0).Bytes)
+		if err := s.Put(0, b, payloadFor(b, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Flip a payload byte inside record 2: the scan must keep 0 and 1 and
+	// truncate from record 2 on (no framing to resync past a bad CRC).
+	path := filepath.Join(dir, "vol-0000.pack")
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAA}, offsets[2]+needleHeaderSize+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats(0).Bytes; got != offsets[2] {
+		t.Fatalf("recovered size = %d, want %d", got, offsets[2])
+	}
+	for b := int64(0); b < 2; b++ {
+		if _, err := s2.Get(0, b, nil); err != nil {
+			t.Fatalf("block %d lost: %v", b, err)
+		}
+	}
+	for b := int64(2); b < 4; b++ {
+		if s2.Has(0, b) {
+			t.Fatalf("block %d survived past the corrupt record", b)
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for b := int64(0); b < 32; b++ {
+			if err := s.Put(0, b, payloadFor(b+int64(round), 256)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats(0)
+	if before.Garbage == 0 {
+		t.Fatal("expected garbage before compaction")
+	}
+	if err := s.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats(0)
+	if after.Garbage != 0 || after.Bytes >= before.Bytes || after.Blocks != 32 {
+		t.Fatalf("after compact: %+v (before %+v)", after, before)
+	}
+	for b := int64(0); b < 32; b++ {
+		got, err := s.Get(0, b, nil)
+		if err != nil || !bytes.Equal(got, payloadFor(b+3, 256)) {
+			t.Fatalf("block %d wrong after compact: %v", b, err)
+		}
+	}
+	// Writes keep working on the swapped file, and the result reopens.
+	if err := s.Put(0, 100, payloadFor(100, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, err := s2.Get(0, 100, nil); err != nil || !bytes.Equal(got, payloadFor(100, 64)) {
+		t.Fatalf("post-compact write lost: %v", err)
+	}
+	if got := s2.Stats(0).Blocks; got != 33 {
+		t.Fatalf("blocks after reopen = %d, want 33", got)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	s, err := Open(t.TempDir(), 3, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(0, 11, payloadFor(11, 333)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Copy(0, 2, 11); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(2, 11, nil)
+	if err != nil || !bytes.Equal(got, payloadFor(11, 333)) {
+		t.Fatalf("copied block wrong: %v", err)
+	}
+	if err := s.Copy(1, 2, 11); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("copy from empty device: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeviceBounds(t *testing.T) {
+	s, err := Open(t.TempDir(), 2, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(2, 0, nil); err == nil {
+		t.Fatal("put on device 2 of 2 succeeded")
+	}
+	if err := s.Put(-1, 0, nil); err == nil {
+		t.Fatal("put on device -1 succeeded")
+	}
+	if _, err := s.Get(2, 0, nil); err == nil {
+		t.Fatal("get on device 2 of 2 succeeded")
+	}
+	if s.Has(5, 0) || len(s.Blocks(5, nil)) != 0 {
+		t.Fatal("Has/Blocks out of range not empty")
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	s, err := Open(t.TempDir(), 1, Options{NoSync: true, MaxPayload: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(0, 0, make([]byte, 129)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized put: err = %v, want ErrTooLarge", err)
+	}
+	if err := s.Put(0, 0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s, err := Open(t.TempDir(), 1, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, 1, payloadFor(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, 2, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: err = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close: err = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConcurrentPutGetCompact(t *testing.T) {
+	s, err := Open(t.TempDir(), 2, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const (
+		writers = 4
+		perW    = 64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				b := int64(w*perW + i)
+				if err := s.Put(w%2, b, payloadFor(b, 64+i)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if got, err := s.Get(w%2, b, nil); err != nil || !bytes.Equal(got, payloadFor(b, 64+i)) {
+					t.Errorf("get-after-put block %d: %v", b, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			if err := s.Compact(i % 2); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := len(s.Blocks(0, nil)) + len(s.Blocks(1, nil))
+	if total != writers*perW {
+		t.Fatalf("blocks = %d, want %d", total, writers*perW)
+	}
+}
+
+func TestManyDevicesNaming(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 12, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	for d := 0; d < 12; d++ {
+		p := filepath.Join(dir, fmt.Sprintf("vol-%04d.pack", d))
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("volume file missing: %v", err)
+		}
+	}
+}

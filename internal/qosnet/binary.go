@@ -74,6 +74,7 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 		collected int    // requests in the pending burst, all buckets
 		burstResp []byte // encoded outcome frames for one burst
 		batchSc   shard.BatchScratch
+		dataBuf   []byte // OpGet payload scratch
 	)
 	hasHealth := s.anyHealth()
 	arrival := -1.0 // virtual arrival stamp, renewed per socket fill
@@ -291,6 +292,42 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 			gauges = s.shardGauges(gauges)
 			scratch = wire.AppendShardStats(scratch[:0], gauges)
 			err = wr.WriteFrame(resp, scratch)
+		case wire.OpGet:
+			block, perr := wire.ParseBlock(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad block payload")
+				break
+			}
+			if s.opts.Store == nil {
+				err = wr.WriteError(resp, "no data store")
+				break
+			}
+			out, b, gerr := s.dataGet(st, block, hasHealth, arrival, dataBuf[:0])
+			if cap(b) > cap(dataBuf) {
+				dataBuf = b // keep the grown buffer for the connection
+			}
+			if gerr != nil {
+				err = wr.WriteError(resp, gerr.Error())
+				break
+			}
+			scratch = wire.AppendGetResp(scratch[:0], toWireOutcome(out), b)
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpPut:
+			block, data, perr := wire.ParsePutReq(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad put payload")
+				break
+			}
+			if s.opts.Store == nil {
+				err = wr.WriteError(resp, "no data store")
+				break
+			}
+			out, werr := s.dataPut(st, block, data, hasHealth, arrival)
+			if werr != nil {
+				err = wr.WriteError(resp, werr.Error())
+				break
+			}
+			err = wr.WriteOutcome(resp, toWireOutcome(out))
 		case wire.OpQuit:
 			bw.Flush()
 			return

@@ -314,6 +314,84 @@ func (c *BinaryClient) do(op uint8, payload []byte) (wire.Header, []byte, error)
 	return res.h, res.payload, nil
 }
 
+// Put stores payload bytes under block and waits for the outcome: QoS
+// admission prices the write, then the server lands the bytes durably
+// (group-commit fsynced) on every available replica before answering.
+// Requires a server running with a data store (-backend pack).
+func (c *BinaryClient) Put(block int64, payload []byte) (ReadResult, error) {
+	buf := wire.GetBuffer()
+	p := wire.AppendPutReq((*buf)[:0], block, payload)
+	*buf = p[:0]
+	_, resp, err := c.do(wire.OpPut, p)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	o, _, perr := wire.ParseOutcome(resp)
+	if perr != nil {
+		return ReadResult{}, perr
+	}
+	return fromWireOutcome(o), nil
+}
+
+// PutAsync enqueues a pipelined payload write; the returned channel
+// (capacity 1) delivers exactly one completion. A success completion
+// means the payload is durable per the Put contract.
+func (c *BinaryClient) PutAsync(block int64, payload []byte) <-chan SubmitResult {
+	ch := make(chan SubmitResult, 1)
+	id := c.nextID.Add(1)
+	cb := func(h wire.Header, p []byte, err error) {
+		if err != nil {
+			ch <- SubmitResult{ID: id, Err: err}
+			return
+		}
+		if h.Flags&wire.FlagError != 0 {
+			ch <- SubmitResult{ID: id, Err: errorFrame(p)}
+			return
+		}
+		o, _, perr := wire.ParseOutcome(p)
+		if perr != nil {
+			ch <- SubmitResult{ID: id, Err: perr}
+			return
+		}
+		ch <- SubmitResult{ID: id, ReadResult: fromWireOutcome(o)}
+	}
+	if err := c.register(id, cb); err != nil {
+		ch <- SubmitResult{ID: id, Err: err}
+		return ch
+	}
+	buf := wire.GetBuffer()
+	p := wire.AppendPutReq((*buf)[:0], block, payload)
+	*buf = p[:0]
+	err := c.send(wire.OpPut, id, p)
+	wire.PutBuffer(buf)
+	if err != nil {
+		c.unregister(id)
+		ch <- SubmitResult{ID: id, Err: err}
+	}
+	return ch
+}
+
+// Get fetches block's payload bytes and waits for the outcome. data is
+// nil when admission rejected the request (r.Rejected); a missing block
+// or an all-replicas-faulted read comes back as an error.
+func (c *BinaryClient) Get(block int64) (r ReadResult, data []byte, err error) {
+	_, resp, err := c.do(wire.OpGet, wire.AppendBlock(nil, block))
+	if err != nil {
+		return ReadResult{}, nil, err
+	}
+	o, data, perr := wire.ParseGetResp(resp)
+	if perr != nil {
+		return ReadResult{}, nil, perr
+	}
+	r = fromWireOutcome(o)
+	if r.Rejected {
+		return r, nil, nil
+	}
+	// data aliases the response copy `do` made for us — safe to hand out.
+	return r, data, nil
+}
+
 // Read submits a block read and waits for the outcome.
 func (c *BinaryClient) Read(block int64) (ReadResult, error) {
 	res := <-c.SubmitAsync(block)

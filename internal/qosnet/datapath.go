@@ -1,0 +1,230 @@
+package qosnet
+
+import (
+	"errors"
+	"fmt"
+
+	"flashqos/internal/core"
+	"flashqos/internal/health"
+	"flashqos/internal/pack"
+	"flashqos/internal/shard"
+)
+
+// BlockStore is the per-device payload engine behind the binary GET/PUT
+// data verbs — the surface pack.Store implements. Device ids are global
+// (shard·N + local), matching the outcome's Device field. Get appends the
+// payload to dst and returns the extended slice; on error dst comes back
+// with its length unchanged. A missing block is pack.ErrNotFound (or an
+// error wrapping it); any other Get/Put error is treated as a media fault
+// and fed to the device's health monitor.
+type BlockStore interface {
+	Get(dev int, block int64, dst []byte) ([]byte, error)
+	Put(dev int, block int64, payload []byte) error
+	Has(dev int, block int64) bool
+	Blocks(dev int, dst []int64) []int64
+	Copy(from, to int, block int64) error
+}
+
+// errNoReplica answers a GET for a block no available replica holds.
+var errNoReplica = errors.New("block not found")
+
+// dataGet runs one payload read: QoS admission decides the device and the
+// timing outcome exactly as a timing-only READ would, then the payload is
+// served from the store — from the chosen device when it holds the block,
+// falling back to the block's other available replicas (a replica can
+// legitimately lag behind during rebuild). The health feed is driven by
+// the real I/O: the serving device reports the outcome's response latency
+// as its success sample, a device whose read faulted reports an error —
+// which is what lets media corruption walk a device to Suspect/Failed.
+//
+// The payload is appended to dst; the returned slice replaces it. A
+// rejected outcome reads nothing. A non-nil error means no bytes could be
+// served (every replica missed or faulted).
+func (s *Server) dataGet(st *stripe, block int64, hasHealth bool, arrival float64, dst []byte) (core.Outcome, []byte, error) {
+	out := s.submitData(st, false, block, arrival)
+	if out.Rejected {
+		return out, dst, nil
+	}
+	sh := s.arr.ShardOf(block)
+	base := sh * s.arr.DevicesPerShard()
+	var mask *health.Mask
+	if mon := s.arr.Monitor(sh); mon != nil {
+		mask = mon.Mask()
+	}
+	var lastErr error
+	tryDev := func(g int) ([]byte, bool) {
+		b, err := s.opts.Store.Get(g, block, dst)
+		if err == nil {
+			if hasHealth {
+				if m, local := s.monitorFor(g); m != nil {
+					m.ReportSuccess(local, out.Response())
+				}
+			}
+			return b, true
+		}
+		if !errors.Is(err, pack.ErrNotFound) {
+			// Real media fault: feed the detector and remember the cause.
+			if hasHealth {
+				if m, local := s.monitorFor(g); m != nil {
+					m.ReportError(local)
+				}
+			}
+			lastErr = err
+		}
+		return nil, false
+	}
+	if b, ok := tryDev(out.Device); ok {
+		return out, b, nil
+	}
+	for _, d := range s.arr.System(sh).Replicas(block) {
+		g := base + d
+		if g == out.Device {
+			continue
+		}
+		// Fallbacks stay within the mask: an unavailable replica is being
+		// rebuilt and may hold stale bytes.
+		if mask != nil && !mask.Has(d) {
+			continue
+		}
+		if b, ok := tryDev(g); ok {
+			return out, b, nil
+		}
+	}
+	if lastErr != nil {
+		return out, dst, lastErr
+	}
+	return out, dst, errNoReplica
+}
+
+// dataPut runs one payload write: QoS admission prices it like a
+// timing-only WRITE (all replicas touched), then the payload is stored
+// durably on every available replica of the block. Unavailable replicas
+// are skipped — that is the degraded write the resilver pass catches up —
+// and a replica whose write faults reports a health error. The ack
+// contract: a nil error means the payload is group-commit fsynced on at
+// least one replica and every available replica was attempted.
+func (s *Server) dataPut(st *stripe, block int64, data []byte, hasHealth bool, arrival float64) (core.Outcome, error) {
+	out := s.submitData(st, true, block, arrival)
+	if out.Rejected {
+		return out, nil
+	}
+	sh := s.arr.ShardOf(block)
+	base := sh * s.arr.DevicesPerShard()
+	var mask *health.Mask
+	if mon := s.arr.Monitor(sh); mon != nil {
+		mask = mon.Mask()
+	}
+	wrote := 0
+	var lastErr error
+	for _, d := range s.arr.System(sh).Replicas(block) {
+		if mask != nil && !mask.Has(d) {
+			continue
+		}
+		g := base + d
+		if err := s.opts.Store.Put(g, block, data); err != nil {
+			lastErr = err
+			if hasHealth {
+				if m, local := s.monitorFor(g); m != nil {
+					m.ReportError(local)
+				}
+			}
+			continue
+		}
+		wrote++
+		if hasHealth {
+			if m, local := s.monitorFor(g); m != nil {
+				m.ReportSuccess(local, out.Response())
+			}
+		}
+	}
+	if wrote == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no available replica for block %d", block)
+		}
+		return out, lastErr
+	}
+	return out, nil
+}
+
+// submitData is the admission + accounting half of submitAt without its
+// health success feed: on the data path the success sample belongs to the
+// device that actually served bytes, which dataGet/dataPut only know
+// after the real I/O lands.
+func (s *Server) submitData(st *stripe, write bool, block int64, arrival float64) core.Outcome {
+	var out core.Outcome
+	if write {
+		out = s.arr.SubmitWrite(arrival, block)
+	} else {
+		out = s.arr.Submit(arrival, block)
+	}
+	bump(&st.shard[s.arr.ShardOf(block)])
+	if out.Rejected {
+		bump(&st.rejected)
+	} else if out.Delayed {
+		bump(&st.delayed)
+		st.addDelay(out.Delay)
+	}
+	return out
+}
+
+// RebuildCopy returns the rebuild callback that moves real payloads when
+// the health state machine schedules repair work — pass it to
+// shard.Array.NewHealthMonitorsWithCopy alongside Options.Store. For each
+// repair unit (one design bucket on one device):
+//
+//   - resilver: the recovered device is repopulated — every block of the
+//     bucket held by a surviving replica is copied onto it (blocks it
+//     already holds are skipped, so a short outage diffs cheaply);
+//   - reprotect: the failed device's redundancy is restored within the
+//     bucket's remaining replica set — every available replica ends up
+//     holding every block of the bucket that any of them holds.
+//
+// Copies run under the shard monitor's transition lock at the rebuilder's
+// token rate and are best-effort: a faulted source just means the next
+// replica (or the next scheduled pass after re-fail) supplies the block.
+func RebuildCopy(arr *shard.Array, store BlockStore) func(sh, dev, bucket int, kind health.RebuildKind) {
+	return func(sh, dev, bucket int, kind health.RebuildKind) {
+		sys := arr.System(sh)
+		base := sh * arr.DevicesPerShard()
+		reps := sys.System().Allocator().Replicas(bucket)
+		var mask *health.Mask
+		if mon := arr.Monitor(sh); mon != nil {
+			mask = mon.Mask()
+		}
+		avail := func(d int) bool { return mask == nil || mask.Has(d) }
+		var targets []int
+		switch kind {
+		case health.Resilver:
+			targets = []int{dev}
+		case health.Reprotect:
+			for _, d := range reps {
+				if d != dev && avail(d) {
+					targets = append(targets, d)
+				}
+			}
+		}
+		if len(targets) == 0 {
+			return
+		}
+		var blocks []int64
+		for _, src := range reps {
+			// The device under repair is outside the mask, so it is never a
+			// source; a reprotect target can be, for blocks the others miss.
+			if !avail(src) {
+				continue
+			}
+			blocks = store.Blocks(base+src, blocks[:0])
+			for _, b := range blocks {
+				if sys.DesignBlock(b) != bucket {
+					continue
+				}
+				for _, t := range targets {
+					if t == src || store.Has(base+t, b) {
+						continue
+					}
+					store.Copy(base+src, base+t, b)
+				}
+			}
+		}
+	}
+}

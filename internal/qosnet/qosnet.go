@@ -152,6 +152,12 @@ type Options struct {
 	MaxPayloadBytes int
 	// Proto restricts the accepted protocols (default ProtoBoth).
 	Proto Proto
+	// Store attaches a payload engine (internal/pack) behind the QoS
+	// layer: the binary OpGet/OpPut verbs serve real bytes through it with
+	// admission in front, and its read/write faults feed the health
+	// monitors. nil disables the data path — OpGet/OpPut answer an error
+	// frame and everything else is unchanged.
+	Store BlockStore
 }
 
 // stripe is one slice of the server's request counters. Each connection

@@ -105,8 +105,26 @@ func FromSystems(systems ...*core.System) (*Array, error) {
 // from over, the device count, availability guard, latency baseline and
 // rebuild work lists from each shard's design. Call before serving.
 func (a *Array) NewHealthMonitors(rebuildRate float64, over health.Config) error {
+	return a.NewHealthMonitorsWithCopy(rebuildRate, over, nil)
+}
+
+// NewHealthMonitorsWithCopy is NewHealthMonitors with a rebuild copy
+// callback: each shard's rebuilder calls copy(shard, dev, bucket, kind)
+// for every scheduled repair unit (dev and bucket in shard-local terms),
+// which is how a storage engine moves real payloads during
+// reprotect/resilver. copy runs under the shard monitor's transition lock
+// — keep it cheap relative to the rebuild rate. A nil copy matches
+// NewHealthMonitors.
+func (a *Array) NewHealthMonitorsWithCopy(rebuildRate float64, over health.Config, copy func(shard, dev, bucket int, kind health.RebuildKind)) error {
 	for i, cs := range a.systems {
-		mon, err := cs.System().NewHealthMonitor(rebuildRate, over)
+		o := over
+		if copy != nil {
+			sh := i
+			o.Rebuild.Copy = func(dev, bucket int, kind health.RebuildKind) {
+				copy(sh, dev, bucket, kind)
+			}
+		}
+		mon, err := cs.System().NewHealthMonitor(rebuildRate, o)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}

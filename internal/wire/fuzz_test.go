@@ -30,6 +30,13 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Batch with a lying count.
 	lie := AppendUint32(nil, 1<<30)
 	f.Add(AppendFrame(nil, Header{Opcode: OpBatch, ID: 9}, lie))
+	// Data-path frames: a PUT carrying bytes, a GET request, a GET response
+	// with a payload, and a PUT whose payload is shorter than a block id.
+	f.Add(AppendFrame(nil, Header{Opcode: OpPut, ID: 10}, AppendPutReq(nil, 42, []byte("payload bytes"))))
+	f.Add(AppendFrame(nil, Header{Opcode: OpGet, ID: 11}, AppendBlock(nil, 42)))
+	f.Add(AppendFrame(nil, Header{Opcode: OpGet, ID: 12},
+		AppendGetResp(nil, Outcome{Device: 3, RespMS: 1.5}, []byte("stored"))))
+	f.Add(AppendFrame(nil, Header{Opcode: OpPut, ID: 13}, []byte{1, 2, 3}))
 
 	const maxPayload = 1 << 16
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -66,6 +73,12 @@ func FuzzDecodeFrame(f *testing.F) {
 				}
 			}
 			ParseShardStats(payload)
+			if _, data, err := ParsePutReq(payload); err == nil && len(data) != len(payload)-8 {
+				t.Fatalf("put req parsed %d data bytes from %d", len(data), len(payload))
+			}
+			if _, data, err := ParseGetResp(payload); err == nil && len(data) != len(payload)-OutcomeSize {
+				t.Fatalf("get resp parsed %d data bytes from %d", len(data), len(payload))
+			}
 		}
 	})
 }

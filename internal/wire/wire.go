@@ -59,6 +59,8 @@ const (
 	OpRecover    = 0x08 // admin: bring a device back (text RECOVER)
 	OpHealth     = 0x09 // device-health report (text HEALTH)
 	OpShardStats = 0x0A // per-shard admission gauges (the METRICS shard series)
+	OpGet        = 0x0B // payload read: block → outcome + stored bytes (data path)
+	OpPut        = 0x0C // payload write: block + bytes → outcome (data path)
 	OpQuit       = 0x0F // close the connection (text QUIT); no response
 )
 
@@ -448,6 +450,39 @@ func ParseBlock(b []byte) (int64, error) {
 		return 0, ErrShortPayload
 	}
 	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// AppendPutReq appends a PUT request payload: block id + stored bytes.
+func AppendPutReq(buf []byte, block int64, data []byte) []byte {
+	buf = AppendInt64(buf, block)
+	return append(buf, data...)
+}
+
+// ParsePutReq decodes a PUT request payload. data aliases b and is only
+// valid until the frame's Reader buffer is reused; an empty payload is a
+// legal zero-length write.
+func ParsePutReq(b []byte) (block int64, data []byte, err error) {
+	if len(b) < 8 {
+		return 0, nil, ErrShortPayload
+	}
+	return int64(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// AppendGetResp appends a GET response payload: the 21-byte outcome, then
+// the stored bytes. A rejected outcome carries no data.
+func AppendGetResp(buf []byte, o Outcome, data []byte) []byte {
+	buf = AppendOutcome(buf, o)
+	return append(buf, data...)
+}
+
+// ParseGetResp decodes a GET response payload. data aliases b past the
+// outcome and is only valid until the frame's Reader buffer is reused.
+func ParseGetResp(b []byte) (Outcome, []byte, error) {
+	o, rest, err := ParseOutcome(b)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+	return o, rest, nil
 }
 
 // AppendBatchReq appends a BATCH request payload: count + block ids.

@@ -399,6 +399,64 @@ func TestEncodeDecodeAllocs(t *testing.T) {
 	}
 }
 
+// TestDataPathCodecs exercises the payload-carrying GET/PUT codecs: byte
+// round-trips, short-input rejection, aliasing semantics, and the same
+// zero-alloc guarantee the other codecs hold.
+func TestDataPathCodecs(t *testing.T) {
+	data := []byte("twelve bytes")
+
+	// PUT request.
+	p := AppendPutReq(nil, -7, data)
+	if len(p) != 8+len(data) {
+		t.Fatalf("put req length = %d, want %d", len(p), 8+len(data))
+	}
+	block, got, err := ParsePutReq(p)
+	if err != nil || block != -7 || !bytes.Equal(got, data) {
+		t.Fatalf("ParsePutReq = (%d, %q, %v)", block, got, err)
+	}
+	if &got[0] != &p[8] {
+		t.Fatal("ParsePutReq copied the data instead of aliasing")
+	}
+	if block, got, err := ParsePutReq(AppendBlock(nil, 9)); err != nil || block != 9 || len(got) != 0 {
+		t.Fatalf("empty put payload: (%d, %q, %v)", block, got, err)
+	}
+	if _, _, err := ParsePutReq(p[:7]); err != ErrShortPayload {
+		t.Fatalf("short put req: err = %v", err)
+	}
+
+	// GET response.
+	o := Outcome{Device: 5, DelayMS: 0.5, RespMS: 3.5, Status: StatusDelayed}
+	g := AppendGetResp(nil, o, data)
+	if len(g) != OutcomeSize+len(data) {
+		t.Fatalf("get resp length = %d, want %d", len(g), OutcomeSize+len(data))
+	}
+	out, got2, err := ParseGetResp(g)
+	if err != nil || out != o || !bytes.Equal(got2, data) {
+		t.Fatalf("ParseGetResp = (%+v, %q, %v)", out, got2, err)
+	}
+	if out, got2, err := ParseGetResp(AppendOutcome(nil, o)); err != nil || out != o || len(got2) != 0 {
+		t.Fatalf("dataless get resp: (%+v, %q, %v)", out, got2, err)
+	}
+	if _, _, err := ParseGetResp(g[:OutcomeSize-1]); err != ErrShortPayload {
+		t.Fatalf("short get resp: err = %v", err)
+	}
+
+	// Zero-alloc encode/decode with a warm buffer.
+	buf := make([]byte, 0, 128)
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = AppendPutReq(buf[:0], 42, data)
+		if _, _, err := ParsePutReq(buf); err != nil {
+			t.Fatal(err)
+		}
+		buf = AppendGetResp(buf[:0], o, data)
+		if _, _, err := ParseGetResp(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("data-path codecs allocate %v/op, want 0", n)
+	}
+}
+
 func BenchmarkEncodeOutcomeFrame(b *testing.B) {
 	buf := make([]byte, 0, 64)
 	o := Outcome{Device: 3, DelayMS: 1.5, RespMS: 2.25, Status: StatusDelayed}
