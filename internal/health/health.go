@@ -410,24 +410,41 @@ func (m *Monitor) transitionLocked(d int, from, to State) {
 }
 
 // Step pumps the rebuild scheduler: it refills the token bucket from the
-// monitor clock and performs as many queued bucket copies as the tokens
-// allow. Devices whose resilver queue drains are promoted
-// Rebuilding → Healthy. Returns the number of bucket copies performed.
-// Call periodically (the qosnet server ticks it from a background
-// goroutine); a no-op when rebuild is disabled.
+// monitor clock, dequeues as many bucket copies as the tokens allow, and
+// performs them with the transition lock released — a copy may move real
+// payload bytes and block on fsync, and must not stall detector
+// transitions or mask rebuilds meanwhile. Devices whose resilver queue
+// drains are promoted Rebuilding → Healthy after their copies complete
+// (never before: a device must not rejoin the retrieval mask while its
+// bytes are still in flight). Returns the number of bucket copies
+// performed. Call periodically (the qosnet server ticks it from a
+// background goroutine); a no-op when rebuild is disabled.
 func (m *Monitor) Step() int {
 	if m.reb == nil {
 		return 0
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	n, drained := m.reb.step(m.cfg.NowMS())
-	for _, d := range drained {
-		if State(m.devs[d].state.Load()) == Rebuilding {
-			m.transitionLocked(d, Rebuilding, Healthy)
+	jobs, drained := m.reb.take(m.cfg.NowMS())
+	m.mu.Unlock()
+	if m.cfg.Rebuild.Copy != nil {
+		for _, j := range jobs {
+			m.cfg.Rebuild.Copy(j.dev, j.bucket, j.kind)
 		}
 	}
-	return n
+	if len(drained) > 0 {
+		m.mu.Lock()
+		for _, d := range drained {
+			// Re-check under the lock: while the copies ran the device may
+			// have failed again (and possibly re-entered Rebuilding with a
+			// fresh work queue) — promote only a still-rebuilding device
+			// with nothing left queued.
+			if State(m.devs[d].state.Load()) == Rebuilding && !m.reb.hasWork(d) {
+				m.transitionLocked(d, Rebuilding, Healthy)
+			}
+		}
+		m.mu.Unlock()
+	}
+	return len(jobs)
 }
 
 // RebuildProgress reports the rebuild scheduler's queue depth and lifetime

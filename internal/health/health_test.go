@@ -247,6 +247,49 @@ func TestRebuildFlowAndRateCap(t *testing.T) {
 	}
 }
 
+// TestRebuildCopyRunsUnlocked pins the Step contract: the copy callback
+// runs with the transition lock released, so it may feed the monitor —
+// progress queries, detector reports — without self-deadlocking. The real
+// data path's rebuild callback does exactly that (its store puts report
+// health outcomes), and used to stall every transition for the duration
+// of a bucket copy when Step held the lock across it.
+func TestRebuildCopyRunsUnlocked(t *testing.T) {
+	now := 0.0
+	var m *Monitor
+	m = mustMonitor(t, Config{
+		Devices: 4, MaxUnavailable: 2,
+		NowMS: func() float64 { return now },
+		Rebuild: RebuildConfig{
+			RatePerSec: 1000,
+			Burst:      4,
+			BucketsOf:  func(dev int) []int { return []int{0, 1} },
+			Copy: func(dev, bucket int, kind RebuildKind) {
+				// Both take the transition lock; with Step still holding it
+				// this deadlocks.
+				m.RebuildProgress()
+				m.ReportSuccess(0, 1.0)
+			},
+		},
+	})
+	if err := m.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Step(); n != 2 {
+		t.Fatalf("step performed %d copies, want 2", n)
+	}
+	// The resilver path promotes only after the (unlocked) copies ran.
+	if err := m.Recover(3); err != nil {
+		t.Fatal(err)
+	}
+	now += 10
+	if n := m.Step(); n != 2 {
+		t.Fatalf("resilver step performed %d copies, want 2", n)
+	}
+	if got := m.State(3); got != Healthy {
+		t.Fatalf("state after resilver = %v, want healthy", got)
+	}
+}
+
 func TestFailDuringResilverCancelsWork(t *testing.T) {
 	now := 0.0
 	m := mustMonitor(t, Config{

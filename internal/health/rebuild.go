@@ -27,7 +27,9 @@ type RebuildConfig struct {
 	// required when RatePerSec > 0. The slice is read once at enqueue.
 	BucketsOf func(dev int) []int
 	// Copy, if set, performs one bucket copy (e.g. issues the simulated
-	// read+write). Called with the transition lock held; keep it cheap.
+	// read+write, or moves real payloads). Called from Step with the
+	// transition lock released, so it may perform blocking I/O without
+	// stalling detector transitions or mask reads.
 	Copy func(dev, bucket int, kind RebuildKind)
 }
 
@@ -95,10 +97,12 @@ func (r *rebuilder) cancel(dev int) {
 	r.queue = kept
 }
 
-// step refills tokens up to nowMS and performs whole-token copies in FIFO
-// order. Returns the copies performed and the devices whose resilver work
-// drained in this step.
-func (r *rebuilder) step(nowMS float64) (n int, drained []int) {
+// take refills tokens up to nowMS and dequeues whole-token jobs in FIFO
+// order, returning them together with the devices whose resilver work
+// drained. It does not invoke Copy — the Monitor runs the copies after
+// releasing its mutex, so a slow copy (real payload I/O) cannot stall
+// transitions.
+func (r *rebuilder) take(nowMS float64) (jobs []rebuildJob, drained []int) {
 	if !r.seeded {
 		r.seeded = true
 		r.lastMS = nowMS
@@ -116,15 +120,12 @@ func (r *rebuilder) step(nowMS float64) (n int, drained []int) {
 		r.queue = r.queue[:len(r.queue)-1]
 		r.tokens--
 		r.done++
-		n++
-		if r.cfg.Copy != nil {
-			r.cfg.Copy(j.dev, j.bucket, j.kind)
-		}
+		jobs = append(jobs, j)
 		if j.kind == Resilver && !r.hasWork(j.dev) {
 			drained = append(drained, j.dev)
 		}
 	}
-	return n, drained
+	return jobs, drained
 }
 
 // hasWork reports whether any queued job remains for a device.

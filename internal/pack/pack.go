@@ -163,18 +163,18 @@ func (s *Store) Put(dev int, block int64, payload []byte) error {
 	if len(payload) > s.opts.MaxPayload {
 		return fmt.Errorf("%w (%d > %d bytes)", ErrTooLarge, len(payload), s.opts.MaxPayload)
 	}
-	end, err := v.append(block, payload)
+	end, gen, err := v.append(block, payload)
 	if err != nil {
 		return err
 	}
 	if s.opts.NoSync {
-		v.markSynced(end, nil)
+		v.markSynced(end, gen, nil)
 		return nil
 	}
 	if s.dirty.Add(int64(needleHeaderSize+len(payload))) >= int64(s.opts.SyncBytes) {
 		s.kickSync()
 	}
-	return v.waitSynced(end)
+	return v.waitSynced(end, gen)
 }
 
 // Get appends block's payload on device dev to dst and returns the
@@ -269,17 +269,19 @@ func (s *Store) Close() error {
 	}
 	var first error
 	for _, v := range s.vols {
-		// Setting closed under the volume lock fences later appends; the
-		// final fsync then covers everything that got in before the fence.
+		// Setting closed under the volume lock fences later appends and
+		// compactions; the final fsync then covers everything that got in
+		// before the fence, and the generation captured here stays current.
 		v.mu.Lock()
 		v.closed = true
 		end := v.size
+		gen := v.generation()
 		v.mu.Unlock()
 		var err error
 		if !s.opts.NoSync {
 			err = v.f.Sync()
 		}
-		v.markSynced(end, err)
+		v.markSynced(end, gen, err)
 		if cerr := v.f.Close(); cerr != nil && first == nil {
 			first = cerr
 		}

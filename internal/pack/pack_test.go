@@ -400,6 +400,81 @@ func TestConcurrentPutGetCompact(t *testing.T) {
 	}
 }
 
+// garbageStore opens a single-device store and layers overwrites so the
+// live set is much smaller than the file — compaction is guaranteed to
+// shrink it, which the watermark/generation races below depend on.
+func garbageStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for round := 0; round < 3; round++ {
+		for b := int64(0); b < 8; b++ {
+			if err := s.Put(0, b, payloadFor(b, 128)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// TestWaitSyncedReleasedByCompaction pins the append/compaction race: a
+// compaction completing between append returning and the Put parking on
+// the watermark must release the waiter via the generation captured
+// inside append's critical section. The end offset describes the
+// discarded pre-compaction file and can exceed the rewritten one, so on
+// an otherwise idle volume no fsync would ever cover it — a waiter keyed
+// on the post-compaction generation would park forever.
+func TestWaitSyncedReleasedByCompaction(t *testing.T) {
+	s := garbageStore(t, Options{NoSync: true})
+	v := s.vols[0]
+	end, gen, err := v.append(99, payloadFor(99, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if sz := s.Stats(0).Bytes; sz >= end {
+		t.Fatalf("compaction did not shrink below the captured end (%d >= %d)", sz, end)
+	}
+	done := make(chan error, 1)
+	go func() { done <- v.waitSynced(end, gen) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waitSynced parked forever on a pre-compaction offset")
+	}
+}
+
+// TestMarkSyncedIgnoresStaleGeneration pins the fsync/compaction race: a
+// sync pass captures (end, generation) under the read lock, fsyncs,
+// releases the lock, and only then reports. If a compaction commits in
+// that window, the completion is stale — end exceeds the rewritten file —
+// and advancing the watermark with it would ack later appends below it
+// without any fsync covering them.
+func TestMarkSyncedIgnoresStaleGeneration(t *testing.T) {
+	s := garbageStore(t, Options{NoSync: true})
+	v := s.vols[0]
+	// What a sync pass would capture just before the fsync.
+	v.mu.RLock()
+	end, gen := v.size, v.generation()
+	v.mu.RUnlock()
+	if err := s.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	// The stale completion arrives after the swap.
+	v.markSynced(end, gen, nil)
+	if got, want := v.syncedEnd(), s.Stats(0).Bytes; got != want {
+		t.Fatalf("stale sync completion moved the watermark to %d, want %d (file size)", got, want)
+	}
+}
+
 func TestManyDevicesNaming(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, 12, Options{NoSync: true})

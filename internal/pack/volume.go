@@ -122,25 +122,37 @@ func (v *volume) recover(maxPayload int) error {
 }
 
 // append writes the needle at the current end and indexes it, returning
-// the new append end for waitSynced. A failed write does not advance
-// size: the torn bytes sit past the end, are overwritten by the next
-// append, and would be truncated by recovery.
-func (v *volume) append(block int64, payload []byte) (end int64, err error) {
+// the new append end for waitSynced together with the volume generation
+// the end belongs to — both captured while mu is held, so a compaction
+// (which needs mu exclusively) cannot slide in between and make the pair
+// inconsistent. A failed write does not advance size: the torn bytes sit
+// past the end, are overwritten by the next append, and would be
+// truncated by recovery.
+func (v *volume) append(block int64, payload []byte) (end int64, gen uint64, err error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.closed {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	v.scratch = AppendNeedle(v.scratch[:0], block, payload)
 	if _, err := v.f.WriteAt(v.scratch, v.size); err != nil {
-		return 0, fmt.Errorf("pack: write %s: %w", filepath.Base(v.path), err)
+		return 0, 0, fmt.Errorf("pack: write %s: %w", filepath.Base(v.path), err)
 	}
 	if old, ok := v.index[block]; ok {
 		v.garbage += int64(needleHeaderSize) + int64(old.size)
 	}
 	v.index[block] = rec{off: v.size, size: uint32(len(payload))}
 	v.size += int64(len(v.scratch))
-	return v.size, nil
+	return v.size, v.generation(), nil
+}
+
+// generation reads the compaction generation. Callers holding mu (even
+// shared) observe a stable value: compaction bumps gen only while holding
+// mu exclusively.
+func (v *volume) generation() uint64 {
+	v.sm.Lock()
+	defer v.sm.Unlock()
+	return v.gen
 }
 
 // get reads and re-validates block's needle, appending the payload to dst.
@@ -195,17 +207,21 @@ func (v *volume) stats() DeviceStats {
 
 // syncIfDirty fsyncs under the read lock (so compaction cannot swap the
 // handle mid-syscall; concurrent gets proceed, appends briefly queue) and
-// advances the durable watermark.
+// advances the durable watermark. The generation is captured under the
+// same read lock as end: if a compaction commits between the RUnlock and
+// markSynced, the stale (end, gen) pair is discarded there rather than
+// advancing the watermark past the rewritten (smaller) file.
 func (v *volume) syncIfDirty() {
 	v.mu.RLock()
 	end := v.size
+	gen := v.generation()
 	if v.closed || end <= v.syncedEnd() {
 		v.mu.RUnlock()
 		return
 	}
 	err := v.f.Sync()
 	v.mu.RUnlock()
-	v.markSynced(end, err)
+	v.markSynced(end, gen, err)
 }
 
 func (v *volume) syncedEnd() int64 {
@@ -222,28 +238,37 @@ func (v *volume) syncError() error {
 
 // markSynced records that an fsync covered the file up to end (or that it
 // failed — sticky, fail-stop) and wakes the Puts parked on the watermark.
-func (v *volume) markSynced(end int64, err error) {
+// end is only meaningful in the generation it was captured in: if a
+// compaction committed since, the offset describes the discarded file, so
+// advancing the watermark with it would mark not-yet-fsynced bytes of the
+// rewritten file durable. A stale pair is dropped — the compaction that
+// invalidated it already set synced to cover everything live. Sync errors
+// are recorded regardless of generation: fail-stop stays conservative.
+func (v *volume) markSynced(end int64, gen uint64, err error) {
 	v.sm.Lock()
 	if err != nil {
 		if v.syncErr == nil {
 			v.syncErr = fmt.Errorf("pack: fsync %s: %w", filepath.Base(v.path), err)
 		}
-	} else if end > v.synced {
+	} else if gen == v.gen && end > v.synced {
 		v.synced = end
 	}
 	v.sm.Unlock()
 	v.cond.Broadcast()
 }
 
-// waitSynced parks until the durable watermark covers end. A compaction
-// generation bump also releases the wait: compaction only commits after
-// every live needle — including the one this Put appended — is fsynced in
-// the rewritten file, so crossing a generation is itself a durability
-// proof (and end, an old-file offset, no longer means anything).
-func (v *volume) waitSynced(end int64) error {
+// waitSynced parks until the durable watermark covers end, where (end,
+// gen) is the pair append returned. A compaction generation bump also
+// releases the wait: compaction only commits after every live needle —
+// including the one this Put appended — is fsynced in the rewritten file,
+// so crossing a generation is itself a durability proof (and end, an
+// old-file offset, no longer means anything). gen must come from append's
+// critical section, not be re-read here: a compaction finishing between
+// append and this call would otherwise leave the waiter parked on an
+// old-file offset under the post-bump generation, waiting forever.
+func (v *volume) waitSynced(end int64, gen uint64) error {
 	v.sm.Lock()
 	defer v.sm.Unlock()
-	gen := v.gen
 	for v.syncErr == nil && v.gen == gen && v.synced < end {
 		v.cond.Wait()
 	}

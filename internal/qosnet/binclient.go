@@ -315,9 +315,12 @@ func (c *BinaryClient) do(op uint8, payload []byte) (wire.Header, []byte, error)
 }
 
 // Put stores payload bytes under block and waits for the outcome: QoS
-// admission prices the write, then the server lands the bytes durably
-// (group-commit fsynced) on every available replica before answering.
-// Requires a server running with a data store (-backend pack).
+// admission prices the write and, when it admits, the server lands the
+// bytes durably (group-commit fsynced) on every available replica before
+// answering. Admission may reject the write instead — that comes back as
+// a nil error with r.Rejected set and nothing stored, so callers must
+// check r.Rejected before treating the payload as durable. Requires a
+// server running with a data store (-backend pack).
 func (c *BinaryClient) Put(block int64, payload []byte) (ReadResult, error) {
 	buf := wire.GetBuffer()
 	p := wire.AppendPutReq((*buf)[:0], block, payload)
@@ -335,8 +338,10 @@ func (c *BinaryClient) Put(block int64, payload []byte) (ReadResult, error) {
 }
 
 // PutAsync enqueues a pipelined payload write; the returned channel
-// (capacity 1) delivers exactly one completion. A success completion
-// means the payload is durable per the Put contract.
+// (capacity 1) delivers exactly one completion. A completion with a nil
+// Err and Rejected unset means the payload is durable per the Put
+// contract; a rejected admission also completes with a nil Err, so check
+// Rejected before counting the write as stored.
 func (c *BinaryClient) PutAsync(block int64, payload []byte) <-chan SubmitResult {
 	ch := make(chan SubmitResult, 1)
 	id := c.nextID.Add(1)

@@ -179,9 +179,12 @@ func (s *Server) submitData(st *stripe, write bool, block int64, arrival float64
 //     bucket's remaining replica set — every available replica ends up
 //     holding every block of the bucket that any of them holds.
 //
-// Copies run under the shard monitor's transition lock at the rebuilder's
-// token rate and are best-effort: a faulted source just means the next
-// replica (or the next scheduled pass after re-fail) supplies the block.
+// Copies run at the rebuilder's token rate with the monitor's transition
+// lock released (Monitor.Step dequeues under the lock, copies outside
+// it), so the group-commit fsyncs here never stall health reporting on
+// the GET/PUT path. They are best-effort: a faulted source just means the
+// next replica (or the next scheduled pass after re-fail) supplies the
+// block.
 func RebuildCopy(arr *shard.Array, store BlockStore) func(sh, dev, bucket int, kind health.RebuildKind) {
 	return func(sh, dev, bucket int, kind health.RebuildKind) {
 		sys := arr.System(sh)

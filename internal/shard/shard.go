@@ -112,8 +112,9 @@ func (a *Array) NewHealthMonitors(rebuildRate float64, over health.Config) error
 // callback: each shard's rebuilder calls copy(shard, dev, bucket, kind)
 // for every scheduled repair unit (dev and bucket in shard-local terms),
 // which is how a storage engine moves real payloads during
-// reprotect/resilver. copy runs under the shard monitor's transition lock
-// — keep it cheap relative to the rebuild rate. A nil copy matches
+// reprotect/resilver. copy runs from Monitor.Step with the shard
+// monitor's transition lock released, so it may perform blocking payload
+// I/O without stalling the health detectors. A nil copy matches
 // NewHealthMonitors.
 func (a *Array) NewHealthMonitorsWithCopy(rebuildRate float64, over health.Config, copy func(shard, dev, bucket int, kind health.RebuildKind)) error {
 	for i, cs := range a.systems {
