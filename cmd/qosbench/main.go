@@ -486,8 +486,8 @@ func printMClock(w io.Writer, seed int64) error {
 	}
 	fmt.Fprintln(w, "victim latency under a bursty aggressor (arrival to completion, ms):")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-28s avg=%.4f p99=%.4f max=%.4f flat-response=%v\n",
-			r.System, r.VictimAvgMS, r.VictimP99MS, r.VictimMaxMS, r.VictimFlatNs)
+		fmt.Fprintf(w, "  %-28s avg=%.4f p99=%.4f max=%.4f flat-response=%v aggressor-shaped=%d\n",
+			r.System, r.VictimAvgMS, r.VictimP99MS, r.VictimMaxMS, r.VictimFlatNs, r.AggressorShaped)
 	}
 	return nil
 }

@@ -22,6 +22,12 @@
 // re-replicates in the background. Tune with -suspect-after, -fail-after
 // and -rebuild-rate, or disable with -no-health.
 //
+// Repeatable -tenant name:reserve:limit:weight flags install a boot-time
+// multi-tenant policy: tagged submissions run the mClock-style gate in
+// front of the S-bound (reserved window slots, per-window arrival limits,
+// weighted surplus), and the TENANT SET/GET/DEL verbs reconfigure the
+// policy live without pausing admission. Untagged traffic is never gated.
+//
 // With -backend pack -data-dir DIR the server stores real bytes: one
 // append-only volume file per device under DIR (see internal/pack), the
 // binary GET/PUT verbs serve payloads with QoS admission in front, media
@@ -38,8 +44,11 @@ import (
 	_ "net/http/pprof" // registers the /debug/pprof handlers on -pprof
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
+	"flashqos/internal/admission"
 	"flashqos/internal/core"
 	"flashqos/internal/health"
 	"flashqos/internal/pack"
@@ -76,6 +85,9 @@ func main() {
 		packSync      = flag.Duration("pack-sync", pack.DefaultSyncInterval, "pack group-commit fsync interval")
 		packSyncBytes = flag.Int("pack-sync-bytes", pack.DefaultSyncBytes, "pack unsynced-byte threshold that kicks an early fsync")
 	)
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant",
+		"boot-time tenant policy as name:reserve:limit:weight (repeatable; limit 0 = unlimited; same live policy as TENANT SET)")
 	flag.Parse()
 
 	cfg := core.Config{N: *n, C: *c, M: *m, Epsilon: *epsilon}
@@ -112,6 +124,13 @@ func main() {
 	arr, err := shard.New(*shards, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(tenants) > 0 {
+		// Boot-time policy; tenant indices follow flag order (first
+		// -tenant is index 1). TENANT SET/DEL reconfigure it live.
+		if err := arr.SetTenants(tenants); err != nil {
+			log.Fatalf("qosd: -tenant: %v", err)
+		}
 	}
 	var store *pack.Store
 	if packBE != nil {
@@ -196,4 +215,37 @@ func main() {
 		}
 	}
 	fmt.Println("qosd: bye")
+}
+
+// tenantFlags collects repeatable -tenant name:reserve:limit:weight
+// declarations into a boot-time policy.
+type tenantFlags []admission.TenantSpec
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, len(*t))
+	for i, s := range *t {
+		parts[i] = fmt.Sprintf("%s:%d:%d:%g", s.Name, s.Reserve, s.Limit, s.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	f := strings.Split(v, ":")
+	if len(f) != 4 || f[0] == "" {
+		return fmt.Errorf("want name:reserve:limit:weight, got %q", v)
+	}
+	reserve, err := strconv.Atoi(f[1])
+	if err != nil {
+		return fmt.Errorf("bad reserve %q: %v", f[1], err)
+	}
+	limit, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad limit %q: %v", f[2], err)
+	}
+	weight, err := strconv.ParseFloat(f[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad weight %q: %v", f[3], err)
+	}
+	*t = append(*t, admission.TenantSpec{Name: f[0], Reserve: reserve, Limit: limit, Weight: weight})
+	return nil
 }

@@ -1,161 +1,454 @@
+// Package admission implements per-tenant rate shaping composed in front
+// of the paper's S-bound admission. The policy model is mClock's
+// (Gulati et al., OSDI '10) — per-tenant reservations, limits, and
+// proportional-share weights — but the mechanism is not a dispatch-queue
+// simulator: it is an O(1) lock-free gate built for the zero-allocation
+// submit hot path.
+//
+// The refactoring from tag queues to a gate works because the S-bound
+// ledger already serializes admission into T-windows of exactly S slots.
+// Instead of ordering a backlog by reservation/weight tags, the gate
+// partitions each window up front: tenant i owns Reserve_i slots plus a
+// weighted share of the surplus S − ΣReserve (apportioned by largest
+// remainder so the per-tenant caps sum to exactly S). A submission is
+// admitted against its tenant's cap for the window it lands in; because
+// Σcaps = S, no tenant can displace another tenant's reserved slice as
+// long as all traffic is tenant-tagged. Limits are enforced at arrival
+// time: a tenant over Limit arrivals in its arrival window is rejected
+// before the ledger is touched, so over-limit traffic consumes no credit.
+//
+// Policies are swapped atomically: Configure publishes an immutable
+// MCSnap behind an atomic.Pointer, so live reconfiguration never pauses
+// the engine. A reconfiguration opens fresh per-window accounting (the
+// new snapshot's counters start empty); per-tenant gauges are carried
+// across reconfiguration by tenant name. When no tenant is active the
+// snapshot is nil and the gate costs one atomic load.
+//
+// Counter storage mirrors the core ledger's chunked design: counters for
+// (tenant, window) keys live in 64-entry chunks behind a direct-mapped
+// atomic cache, and chunks far behind the window frontier are pruned.
+// A straggler touching a pruned window may observe a fresh counter; that
+// can only over-admit into a window the global ledger has already
+// filled, which the ledger refuses — the gate stays safe, merely not
+// exact, for windows far behind the frontier.
 package admission
 
 import (
 	"fmt"
-	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// MClock is a proportional-share I/O scheduler in the style of mClock
-// (Gulati et al., OSDI 2010) — the scheduler family that commodity storage
-// QoS ships instead of the paper's admission-control approach. Each tenant
-// has a reservation (minimum IOPS), a limit (maximum IOPS) and a weight
-// (share of the surplus). Requests are tagged with virtual times and the
-// scheduler dispatches, at each service opportunity, first any request
-// needed to honour reservations, then the lowest weight-tag request whose
-// tenant is under its limit.
-//
-// It is included as a baseline: mClock shapes *rates* but gives no
-// per-request latency guarantee, which is exactly the gap the paper's
-// design-theoretic admission fills. The comparison experiment
-// (experiments.AblationMClock) makes that concrete.
+// TenantSpec declares one tenant's share of a capacity-S admission window.
+type TenantSpec struct {
+	// Name identifies the tenant. An empty name marks an inactive slot:
+	// the slot keeps its index (so wire-negotiated tenant indices stay
+	// stable across TENANT DEL) but gates nothing.
+	Name string
+	// Reserve is the number of admissions per T-window set aside for
+	// this tenant. While every submission carries a tenant tag, the
+	// reserved slice cannot be consumed by other tenants.
+	Reserve int
+	// Limit caps the tenant's arrivals per T-window (0 = unlimited).
+	// Arrivals beyond the limit are rejected without consuming any
+	// ledger credit.
+	Limit int
+	// Weight sets the tenant's proportional share of the surplus
+	// capacity S − ΣReserve. Must be > 0 for active slots.
+	Weight float64
+}
+
+// Verdict classifies a tenant arrival.
+type Verdict uint8
+
+const (
+	// OK: under limit; proceed to Acquire and the S-bound ledger.
+	OK Verdict = iota
+	// Unknown: tenant index out of range, or the slot is inactive.
+	Unknown
+	// OverLimit: the tenant exceeded Limit arrivals in this arrival
+	// window; reject without touching the ledger.
+	OverLimit
+)
+
+// Counters is a point-in-time read of one tenant's gauges.
+type Counters struct {
+	Admitted  int64 // submissions admitted by the ledger
+	Rejected  int64 // submissions rejected (over-limit or ledger refusal)
+	OverLimit int64 // rejections caused by the per-window arrival limit
+	Deficit   int64 // reserved acquisitions the global ledger could not honor
+}
+
+// tenantStats is the live, atomically-updated form of Counters. Stats
+// are owned by the MClock and keyed by tenant name, so they survive
+// Configure calls (successive snapshots share the same pointers).
+type tenantStats struct {
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	overLimit atomic.Int64
+	deficit   atomic.Int64
+}
+
+func (s *tenantStats) read() Counters {
+	return Counters{
+		Admitted:  s.admitted.Load(),
+		Rejected:  s.rejected.Load(),
+		OverLimit: s.overLimit.Load(),
+		Deficit:   s.deficit.Load(),
+	}
+}
+
+// MClock is the tenant gate for one admission engine. The zero value is
+// not usable; construct with NewMClock.
 type MClock struct {
-	tenants map[string]*mcTenant
-	// virtual service capacity, requests per ms
-	capacity float64
+	capacity int
+	mu       sync.Mutex // serializes Configure
+	snap     atomic.Pointer[MCSnap]
+	stats    map[string]*tenantStats
+	specs    []TenantSpec // last configured slot table (copy), under mu
 }
 
-type mcTenant struct {
-	name        string
-	reservation float64 // requests/ms guaranteed
-	limit       float64 // requests/ms cap (0 = unlimited)
-	weight      float64
-
-	rTag, lTag, pTag float64 // next reservation/limit/proportional tags
-	queue            []mcReq
-	served           int64
+// NewMClock creates a gate partitioning windows of capacity slots
+// (the engine's S). No tenants are active until Configure.
+func NewMClock(capacity int) (*MClock, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("admission: capacity %d < 1", capacity)
+	}
+	return &MClock{capacity: capacity, stats: make(map[string]*tenantStats)}, nil
 }
 
-type mcReq struct {
-	id      int64
-	arrival float64
-}
+// Capacity reports the window capacity the gate partitions.
+func (m *MClock) Capacity() int { return m.capacity }
 
-// NewMClock creates a scheduler with the given aggregate service capacity
-// in requests per millisecond.
-func NewMClock(capacity float64) (*MClock, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("admission: mclock capacity must be positive")
+// Configure validates and atomically publishes a new tenant policy.
+// Slot i of specs corresponds to tenant index i+1 (index 0 means
+// "no tenant" throughout the system). Inactive slots (empty Name) keep
+// their position so existing wire-negotiated indices stay valid. The
+// running engine is never paused: in-flight submissions finish against
+// whichever snapshot they loaded, and the new snapshot opens fresh
+// per-window accounting. Gauges are carried over by tenant name.
+func (m *MClock) Configure(specs []TenantSpec) error {
+	cp := make([]TenantSpec, len(specs))
+	copy(cp, specs)
+	seen := make(map[string]struct{}, len(cp))
+	sumRes, active := 0, 0
+	for i, s := range cp {
+		if s.Name == "" {
+			if s.Reserve != 0 || s.Limit != 0 || s.Weight != 0 {
+				return fmt.Errorf("admission: slot %d: inactive slot must be zero", i)
+			}
+			continue
+		}
+		if _, dup := seen[s.Name]; dup {
+			return fmt.Errorf("admission: duplicate tenant %q", s.Name)
+		}
+		seen[s.Name] = struct{}{}
+		if s.Reserve < 0 {
+			return fmt.Errorf("admission: tenant %q: negative reservation", s.Name)
+		}
+		if s.Limit < 0 {
+			return fmt.Errorf("admission: tenant %q: negative limit", s.Name)
+		}
+		if s.Limit > 0 && s.Limit < s.Reserve {
+			return fmt.Errorf("admission: tenant %q: limit %d < reservation %d", s.Name, s.Limit, s.Reserve)
+		}
+		if !(s.Weight > 0) {
+			return fmt.Errorf("admission: tenant %q: weight must be > 0", s.Name)
+		}
+		sumRes += s.Reserve
+		active++
 	}
-	return &MClock{tenants: make(map[string]*mcTenant), capacity: capacity}, nil
-}
+	if sumRes > m.capacity {
+		return fmt.Errorf("admission: reservations total %d > capacity %d", sumRes, m.capacity)
+	}
 
-// AddTenant registers a tenant. reservation and limit are in requests/ms
-// (limit 0 = unlimited); weight > 0.
-func (m *MClock) AddTenant(name string, reservation, limit, weight float64) error {
-	if _, ok := m.tenants[name]; ok {
-		return fmt.Errorf("admission: tenant %q exists", name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.specs = cp
+	if active == 0 {
+		m.snap.Store(nil)
+		return nil
 	}
-	if reservation < 0 || limit < 0 || weight <= 0 {
-		return fmt.Errorf("admission: bad tenant parameters")
+	snap := &MCSnap{
+		specs: cp,
+		caps:  partition(cp, m.capacity, sumRes),
+		stats: make([]*tenantStats, len(cp)),
 	}
-	if limit > 0 && limit < reservation {
-		return fmt.Errorf("admission: limit below reservation")
+	for i, s := range cp {
+		if s.Name == "" {
+			continue
+		}
+		st := m.stats[s.Name]
+		if st == nil {
+			st = &tenantStats{}
+			m.stats[s.Name] = st
+		}
+		snap.stats[i] = st
 	}
-	total := reservation
-	for _, t := range m.tenants {
-		total += t.reservation
-	}
-	if total > m.capacity {
-		return fmt.Errorf("admission: reservations %.3f exceed capacity %.3f", total, m.capacity)
-	}
-	m.tenants[name] = &mcTenant{name: name, reservation: reservation, limit: limit, weight: weight}
+	snap.arrivals.init(len(cp))
+	snap.usage.init(len(cp))
+	m.snap.Store(snap)
 	return nil
 }
 
-// Submit enqueues a request from a tenant at the given time.
-func (m *MClock) Submit(name string, id int64, at float64) error {
-	t, ok := m.tenants[name]
-	if !ok {
-		return fmt.Errorf("admission: unknown tenant %q", name)
+// partition splits capacity into per-slot window caps: Reserve_i plus a
+// weight-proportional share of the surplus, apportioned by largest
+// remainder so that Σcaps == capacity exactly.
+func partition(specs []TenantSpec, capacity, sumRes int) []int32 {
+	surplus := capacity - sumRes
+	var wsum float64
+	for _, s := range specs {
+		if s.Name != "" {
+			wsum += s.Weight
+		}
 	}
-	// Tag assignment (mClock): tags advance by 1/rate per request, reset
-	// to now when the tenant was idle.
-	if t.reservation > 0 {
-		t.rTag = math.Max(t.rTag+1/t.reservation, at)
+	caps := make([]int32, len(specs))
+	type rem struct {
+		i    int
+		frac float64
 	}
-	if t.limit > 0 {
-		t.lTag = math.Max(t.lTag+1/t.limit, at)
+	rems := make([]rem, 0, len(specs))
+	given := 0
+	for i, s := range specs {
+		if s.Name == "" {
+			continue
+		}
+		exact := float64(surplus) * s.Weight / wsum
+		q := int(exact)
+		caps[i] = int32(s.Reserve + q)
+		given += q
+		rems = append(rems, rem{i, exact - float64(q)})
 	}
-	t.pTag = math.Max(t.pTag+1/t.weight, at)
-	t.queue = append(t.queue, mcReq{id: id, arrival: at})
-	return nil
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; given < surplus; k++ {
+		caps[rems[k%len(rems)].i]++
+		given++
+	}
+	return caps
 }
 
-// Dispatch picks the next request to serve at time now, honouring
-// reservations first, then proportional share among tenants under their
-// limits. Returns the tenant, request id and true; or false when all
-// queues are empty or every backlogged tenant is over its limit.
-func (m *MClock) Dispatch(now float64) (string, int64, bool) {
-	// Phase 1: any tenant behind on its reservation (rTag <= now).
-	var bestR *mcTenant
-	for _, t := range m.tenants {
-		if len(t.queue) == 0 || t.reservation == 0 {
-			continue
+// Snapshot returns the current immutable policy, or nil when no tenant
+// is active (the gate is off). The hot path loads this once per
+// submission and uses it for the submission's whole lifetime.
+func (m *MClock) Snapshot() *MCSnap { return m.snap.Load() }
+
+// Specs returns a copy of the last configured slot table.
+func (m *MClock) Specs() []TenantSpec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make([]TenantSpec, len(m.specs))
+	copy(cp, m.specs)
+	return cp
+}
+
+// Counters reads a tenant's gauges by name. Gauges survive Configure.
+func (m *MClock) Counters(name string) (Counters, bool) {
+	m.mu.Lock()
+	st := m.stats[name]
+	m.mu.Unlock()
+	if st == nil {
+		return Counters{}, false
+	}
+	return st.read(), true
+}
+
+// MCSnap is an immutable published policy: per-slot specs, per-window
+// caps, and the live counter spaces. All methods are safe for
+// concurrent use and allocation-free on the fast path.
+//
+// Tenant indices are 1-based (slot i holds tenant index i+1); index 0
+// and out-of-range or inactive indices answer Unknown/false.
+type MCSnap struct {
+	specs []TenantSpec
+	caps  []int32
+	stats []*tenantStats
+
+	// arrivals counts submissions per (tenant, arrival window) for
+	// Limit enforcement; usage counts ledger acquisitions per
+	// (tenant, scan window) for Reserve/cap enforcement. The spaces are
+	// separate because under Delay-policy backlog the scan frontier
+	// runs arbitrarily ahead of arrivals — a shared pruned key space
+	// would evict live arrival counters.
+	arrivals winCounts
+	usage    winCounts
+}
+
+// Slots reports the slot-table length (the max valid tenant index).
+func (s *MCSnap) Slots() int { return len(s.specs) }
+
+// slot maps a 1-based tenant index to a validated slot, or -1.
+func (s *MCSnap) slot(t int32) int {
+	i := int(t) - 1
+	if i < 0 || i >= len(s.specs) || s.specs[i].Name == "" {
+		return -1
+	}
+	return i
+}
+
+// Active reports whether tenant index t names an active slot.
+func (s *MCSnap) Active(t int32) bool { return s.slot(t) >= 0 }
+
+// Spec returns tenant t's spec.
+func (s *MCSnap) Spec(t int32) (TenantSpec, bool) {
+	i := s.slot(t)
+	if i < 0 {
+		return TenantSpec{}, false
+	}
+	return s.specs[i], true
+}
+
+// Cap returns tenant t's per-window cap (Reserve + surplus quota).
+func (s *MCSnap) Cap(t int32) int {
+	i := s.slot(t)
+	if i < 0 {
+		return 0
+	}
+	return int(s.caps[i])
+}
+
+// NoteArrival charges one arrival for tenant t in arrival window w and
+// enforces Limit. OverLimit bumps the over-limit and rejected gauges
+// (the caller rejects without calling NoteRejected again).
+func (s *MCSnap) NoteArrival(t int32, w int64) Verdict {
+	i := s.slot(t)
+	if i < 0 {
+		return Unknown
+	}
+	lim := s.specs[i].Limit
+	if lim == 0 {
+		return OK
+	}
+	if s.arrivals.counter(int64(i), w).Add(1) > int32(lim) {
+		st := s.stats[i]
+		st.overLimit.Add(1)
+		st.rejected.Add(1)
+		return OverLimit
+	}
+	return OK
+}
+
+// Acquire takes n usage slots for tenant t in scan window w. ok reports
+// whether the tenant had n slots free below its per-window cap;
+// reserved reports whether the entire acquisition landed inside the
+// reserved slice (used for deficit accounting when the global ledger
+// then refuses the window).
+func (s *MCSnap) Acquire(t int32, w int64, n int32) (reserved, ok bool) {
+	i := s.slot(t)
+	if i < 0 {
+		return false, false
+	}
+	capi := s.caps[i]
+	if n > capi {
+		return false, false
+	}
+	c := s.usage.counter(int64(i), w)
+	for {
+		cur := c.Load()
+		if cur+n > capi {
+			return false, false
 		}
-		due := t.rTag - float64(len(t.queue)-1)/t.reservation // tag of HEAD request
-		if due <= now && (bestR == nil || due < bestR.rTag-float64(len(bestR.queue)-1)/bestR.reservation) {
-			bestR = t
+		if c.CompareAndSwap(cur, cur+n) {
+			return cur+n <= int32(s.specs[i].Reserve), true
 		}
 	}
-	if bestR != nil {
-		id := bestR.queue[0].id
-		return m.serve(bestR), id, true
+}
+
+// Release returns n usage slots taken by Acquire for (t, w) — called
+// when the global ledger refuses the window or the scheduler moves the
+// request to a later window.
+func (s *MCSnap) Release(t int32, w int64, n int32) {
+	if i := s.slot(t); i >= 0 {
+		s.usage.counter(int64(i), w).Add(-n)
 	}
-	// Phase 2: lowest proportional tag among tenants under their limit.
-	var bestP *mcTenant
-	bestTag := math.Inf(1)
-	for _, t := range m.tenants {
-		if len(t.queue) == 0 {
-			continue
-		}
-		if t.limit > 0 {
-			headLimitTag := t.lTag - float64(len(t.queue)-1)/t.limit
-			if headLimitTag > now {
-				continue // over limit
+}
+
+// NoteAdmitted bumps tenant t's admitted gauge.
+func (s *MCSnap) NoteAdmitted(t int32) {
+	if i := s.slot(t); i >= 0 {
+		s.stats[i].admitted.Add(1)
+	}
+}
+
+// NoteRejected bumps tenant t's rejected gauge (ledger refusal under a
+// Reject policy; over-limit rejections are counted by NoteArrival).
+func (s *MCSnap) NoteRejected(t int32) {
+	if i := s.slot(t); i >= 0 {
+		s.stats[i].rejected.Add(1)
+	}
+}
+
+// NoteDeficit bumps tenant t's reservation-deficit gauge: an
+// acquisition inside the reserved slice that the global ledger could
+// not honor (untenanted traffic or degraded capacity consumed the
+// window).
+func (s *MCSnap) NoteDeficit(t int32) {
+	if i := s.slot(t); i >= 0 {
+		s.stats[i].deficit.Add(1)
+	}
+}
+
+// Counter-space internals.
+
+const (
+	chunkShift = 6
+	chunkLen   = 1 << chunkShift // counters per chunk
+	cacheSlots = 64              // direct-mapped chunk cache
+	keepChunks = 64              // trailing chunks retained before pruning
+)
+
+type counterChunk struct {
+	id   int64
+	vals [chunkLen]atomic.Int32
+}
+
+// winCounts is a sparse (tenant, window) → atomic counter space: a
+// mutex-guarded map of 64-counter chunks fronted by a direct-mapped
+// atomic cache, pruned by distance from the max-created chunk. The fast
+// path is one atomic load and one comparison.
+type winCounts struct {
+	stride int64 // tenants per window (key = w*stride + slot)
+	mu     sync.Mutex
+	chunks map[int64]*counterChunk
+	cache  [cacheSlots]atomic.Pointer[counterChunk]
+	maxID  int64 // under mu
+}
+
+func (wc *winCounts) init(stride int) {
+	wc.stride = int64(stride)
+	wc.chunks = make(map[int64]*counterChunk)
+	wc.maxID = -1 << 62
+}
+
+func (wc *winCounts) counter(slot, w int64) *atomic.Int32 {
+	key := w*wc.stride + slot
+	cid := key >> chunkShift
+	ci := cid & (cacheSlots - 1)
+	if ch := wc.cache[ci].Load(); ch != nil && ch.id == cid {
+		return &ch.vals[key&(chunkLen-1)]
+	}
+	return wc.counterSlow(key, cid, ci)
+}
+
+func (wc *winCounts) counterSlow(key, cid, ci int64) *atomic.Int32 {
+	wc.mu.Lock()
+	ch := wc.chunks[cid]
+	if ch == nil {
+		ch = &counterChunk{id: cid}
+		wc.chunks[cid] = ch
+		if cid > wc.maxID {
+			wc.maxID = cid
+			if len(wc.chunks) > keepChunks {
+				floor := cid - keepChunks
+				for id := range wc.chunks {
+					if id < floor {
+						delete(wc.chunks, id)
+					}
+				}
 			}
 		}
-		headPTag := t.pTag - float64(len(t.queue)-1)/t.weight
-		if headPTag < bestTag {
-			bestTag = headPTag
-			bestP = t
-		}
 	}
-	if bestP != nil {
-		id := bestP.queue[0].id
-		return m.serve(bestP), id, true
-	}
-	return "", 0, false
-}
-
-// serve pops the head request of a tenant.
-func (m *MClock) serve(t *mcTenant) string {
-	t.queue = t.queue[1:]
-	t.served++
-	return t.name
-}
-
-// Served returns the number of requests served for a tenant.
-func (m *MClock) Served(name string) int64 {
-	if t, ok := m.tenants[name]; ok {
-		return t.served
-	}
-	return 0
-}
-
-// Backlogged returns the queued request count for a tenant.
-func (m *MClock) Backlogged(name string) int {
-	if t, ok := m.tenants[name]; ok {
-		return len(t.queue)
-	}
-	return 0
+	wc.cache[ci].Store(ch)
+	wc.mu.Unlock()
+	return &ch.vals[key&(chunkLen-1)]
 }

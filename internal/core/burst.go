@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"flashqos/internal/admission"
 	"flashqos/internal/retrieval"
 )
 
@@ -31,7 +32,14 @@ import (
 // BurstReq is one request of a burst submitted via SubmitBurst.
 type BurstReq struct {
 	Block int64
-	Write bool
+	// Tenant is the 1-based tenant index the request carries (0 = none).
+	// Callers submitting mixed-tenant bursts should present them grouped
+	// by tenant (the network layer buckets by tenant exactly like it
+	// buckets by shard): any order is correct, but each tenant-cap miss
+	// inside an interleaved burst strands and re-reserves the grouped
+	// ledger credit.
+	Tenant int32
+	Write  bool
 }
 
 // BurstScratch is per-caller reusable state for SubmitBurst. The zero value
@@ -76,13 +84,22 @@ func (e *engine) submitBurst(arrival float64, reqs []BurstReq, idx []int32, outs
 				ri = int(idx[k])
 			}
 			if r := &reqs[ri]; r.Write {
-				outs[ri] = e.submitWrite(arrival, r.Block)
+				outs[ri] = e.submitWrite(arrival, r.Block, r.Tenant)
 			} else {
-				outs[ri] = e.submit(arrival, r.Block)
+				outs[ri] = e.submit(arrival, r.Block, r.Tenant)
 			}
 		}
 		return
 	}
+	// One tenant-policy snapshot per burst, loaded lazily at the first
+	// tenanted request (so tenant-less bursts pay one predictable branch
+	// per frame and no atomic load): a TENANT SET racing the burst lands
+	// on a request boundary at worst.
+	var (
+		snap       *admission.MCSnap
+		snapLoaded bool
+		arrivalW   int64
+	)
 	// One availability snapshot per burst: single-threaded this is
 	// indistinguishable from per-request snapshots; under concurrency a
 	// mask flip lands on a burst boundary instead of a frame boundary.
@@ -98,10 +115,20 @@ func (e *engine) submitBurst(arrival float64, reqs []BurstReq, idx []int32, outs
 			i = int(idx[k])
 		}
 		r := &reqs[i]
+		tenant := r.Tenant
+		if tenant != 0 && !snapLoaded {
+			snap = e.tenants.Snapshot()
+			snapLoaded = true
+			if snap != nil {
+				arrivalW = e.window(arrival)
+			}
+		}
+		gated := tenant != 0 && snap != nil
 		if r.Write {
 			// submitWrite reserves c slots against the true window count and
-			// takes its own locks; drop the credit and the scheduler lock so
-			// it sees exactly the per-request state.
+			// takes its own locks (and runs its own tenant gate); drop the
+			// credit and the scheduler lock so it sees exactly the
+			// per-request state.
 			if credit > 0 {
 				e.ledger.release(curW, credit)
 				credit = 0
@@ -110,18 +137,56 @@ func (e *engine) submitBurst(arrival float64, reqs []BurstReq, idx []int32, outs
 				e.schedMu.Unlock()
 				locked = false
 			}
-			outs[i] = e.submitWrite(arrival, r.Block)
+			outs[i] = e.submitWrite(arrival, r.Block, tenant)
 			continue
+		}
+		if gated {
+			// Arrival-side gate, same order as the per-request path:
+			// limit first (no ledger credit), then availability.
+			switch snap.NoteArrival(tenant, arrivalW) {
+			case admission.Unknown:
+				outs[i] = Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
+				continue
+			case admission.OverLimit:
+				outs[i] = Outcome{Rejected: true, OverLimit: true, Admitted: arrival, Tenant: tenant}
+				continue
+			}
 		}
 		replicas := e.Replicas(r.Block)
 		if masked && aliveReplicas(replicas, mask) == 0 {
-			outs[i] = Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+			if gated {
+				snap.NoteRejected(tenant)
+			}
+			outs[i] = Outcome{Rejected: true, Unavailable: true, Admitted: arrival, Tenant: tenant}
+			continue
+		}
+		if gated && snap.Cap(tenant) < 1 {
+			snap.NoteRejected(tenant)
+			outs[i] = Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
 			continue
 		}
 		tAdm := e.startFrom(arrival)
 		w := e.window(tAdm)
 	scan:
 		for {
+			tenantReserved := false
+			if gated {
+				// Tenant cap before any ledger interaction: a cap miss
+				// advances the scan without consuming or stranding the
+				// window's grouped credit for other requests.
+				res, ok := snap.Acquire(tenant, w, 1)
+				if !ok {
+					if e.reject {
+						snap.NoteRejected(tenant)
+						outs[i] = Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
+						break scan
+					}
+					w++
+					tAdm = float64(w) * e.intervalMS
+					continue
+				}
+				tenantReserved = res
+			}
 			if credit > 0 && w == curW {
 				// Grouped fast path: the slot was reserved with the burst's
 				// one counter update for this window.
@@ -137,8 +202,17 @@ func (e *engine) submitBurst(arrival float64, reqs []BurstReq, idx []int32, outs
 				if got == 0 {
 					// Window w is full under the snapshot limit — exactly
 					// the states the per-request tryReserve fails in.
+					if gated {
+						snap.Release(tenant, w, 1)
+						if tenantReserved {
+							snap.NoteDeficit(tenant)
+						}
+					}
 					if e.reject {
-						outs[i] = Outcome{Rejected: true, Admitted: arrival}
+						if gated {
+							snap.NoteRejected(tenant)
+						}
+						outs[i] = Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
 						break scan
 					}
 					if e.hinted {
@@ -169,6 +243,12 @@ func (e *engine) submitBurst(arrival float64, reqs []BurstReq, idx []int32, outs
 			}
 			if tFree <= tAdm {
 				outs[i] = e.scheduleLocked(arrival, tAdm, replicas, mask, masked, true)
+				if tenant != 0 {
+					outs[i].Tenant = tenant
+					if gated {
+						snap.NoteAdmitted(tenant)
+					}
+				}
 				break scan
 			}
 			// No replica idle at the reserved time: give the slot back and
@@ -180,6 +260,9 @@ func (e *engine) submitBurst(arrival float64, reqs []BurstReq, idx []int32, outs
 				dead = e.deadBefore()
 			}
 			e.ledger.release(w, 1)
+			if gated {
+				snap.Release(tenant, w, 1)
+			}
 			if e.hinted {
 				e.ledger.noteDeadBefore(dead)
 			}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"flashqos/internal/admission"
 	"flashqos/internal/health"
 )
 
@@ -160,13 +161,44 @@ func (s *ConcurrentSystem) MaxWindowCount() int { return s.sys.ledger.maxCount()
 // straggler in its recorded size — the bounded-staleness the estimator
 // already prices in.
 func (s *ConcurrentSystem) Submit(arrival float64, dataBlock int64) Outcome {
-	return s.sys.submit(arrival, dataBlock)
+	return s.sys.submit(arrival, dataBlock, 0)
+}
+
+// SubmitTenant is Submit with a tenant identity: the request passes the
+// lock-free per-tenant mClock gate (arrival limit, then a
+// reserved/weighted window-cap acquisition) before any S-bound ledger
+// credit is consumed. Tenant 0 behaves exactly like Submit.
+func (s *ConcurrentSystem) SubmitTenant(arrival float64, dataBlock int64, tenant int32) Outcome {
+	return s.sys.submit(arrival, dataBlock, tenant)
 }
 
 // SubmitWrite schedules a block write: c admission slots in one window and
 // every replica device idle simultaneously, as in System.SubmitWrite.
 func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome {
-	return s.sys.submitWrite(arrival, dataBlock)
+	return s.sys.submitWrite(arrival, dataBlock, 0)
+}
+
+// SubmitWriteTenant is SubmitWrite with a tenant identity (see
+// System.SubmitWriteTenant).
+func (s *ConcurrentSystem) SubmitWriteTenant(arrival float64, dataBlock int64, tenant int32) Outcome {
+	return s.sys.submitWrite(arrival, dataBlock, tenant)
+}
+
+// SetTenants validates and atomically installs a per-tenant QoS policy
+// with no engine pause: the swap publishes an immutable snapshot, and
+// concurrent submissions finish against whichever snapshot they loaded
+// (see System.SetTenants and internal/admission).
+func (s *ConcurrentSystem) SetTenants(specs []admission.TenantSpec) error {
+	return s.sys.SetTenants(specs)
+}
+
+// TenantSpecs returns a copy of the installed tenant slot table.
+func (s *ConcurrentSystem) TenantSpecs() []admission.TenantSpec { return s.sys.TenantSpecs() }
+
+// TenantCounters reads a tenant's admission gauges by name; the gauges
+// survive SetTenants reconfiguration.
+func (s *ConcurrentSystem) TenantCounters(name string) (admission.Counters, bool) {
+	return s.sys.TenantCounters(name)
 }
 
 // SubmitBatch admits a set of simultaneous block requests jointly, as in
@@ -174,5 +206,11 @@ func (s *ConcurrentSystem) SubmitWrite(arrival float64, dataBlock int64) Outcome
 // is allocation-free (AllocsPerRun-pinned) and the returned slice is valid
 // until the scratch's next use; a nil scratch allocates fresh buffers.
 func (s *ConcurrentSystem) SubmitBatch(arrival float64, blocks []int64, sc *BatchScratch) []Outcome {
-	return s.sys.submitBatch(arrival, blocks, sc)
+	return s.sys.submitBatch(arrival, blocks, 0, sc)
+}
+
+// SubmitBatchTenant is SubmitBatch with a tenant identity for the whole
+// batch (see System.SubmitBatchTenant).
+func (s *ConcurrentSystem) SubmitBatchTenant(arrival float64, blocks []int64, tenant int32, sc *BatchScratch) []Outcome {
+	return s.sys.submitBatch(arrival, blocks, tenant, sc)
 }

@@ -567,6 +567,47 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 	})
 }
 
+// BenchmarkTenantSubmit measures the tenant seam's cost on the submit
+// hot path with a live two-tenant policy installed. untagged is the
+// tenant-less traffic the refactor must not tax: tenant == 0 skips the
+// gate entirely (not even the snapshot load), so benchgate holds it
+// within ~5% of BenchmarkConcurrentSubmit's ns/op via a ratio directive
+// — together with the absolute gate on BenchmarkConcurrentSubmit that
+// pins tenant-less traffic to the pre-seam cost. tagged is the gated
+// path (arrival limit + per-window cap acquisition before the ledger);
+// it pays the O(1) gate and is gated absolutely, not by ratio.
+func BenchmarkTenantSubmit(b *testing.B) {
+	for _, tagged := range []bool{false, true} {
+		name := "untagged"
+		if tagged {
+			name = "tagged"
+		}
+		b.Run(name, func(b *testing.B) {
+			cs := newConcurrent(b, Config{})
+			err := cs.SetTenants([]admission.TenantSpec{
+				{Name: "a", Reserve: 1, Weight: 3},
+				{Name: "b", Reserve: 1, Weight: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var clock atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int64(0)
+				for pb.Next() {
+					arrival := float64(clock.Add(1)) * 0.005
+					var tenant int32
+					if tagged {
+						tenant = int32(1 + i&1)
+					}
+					cs.SubmitTenant(arrival, i, tenant)
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkConcurrentStatistical measures the parallel ε > 0 admission
 // path under the same offered load shape as BenchmarkConcurrentSubmit, so
 // the two are directly comparable: the acceptance bar for the statistical

@@ -147,6 +147,12 @@ type Outcome struct {
 	// on a failed/rebuilding device (only possible with a health monitor
 	// attached and more than c-1 devices out of service).
 	Unavailable bool
+	// Tenant is the 1-based tenant index the request carried (0 = none);
+	// it round-trips wire tenant tags back out through the response path.
+	Tenant int32
+	// OverLimit marks a rejection by the tenant gate's per-window arrival
+	// limit — the request consumed no S-bound ledger credit.
+	OverLimit bool
 }
 
 // Response returns the post-admission response time, the quantity the
@@ -208,7 +214,16 @@ func (s *System) Remap(prev []trace.Record) int {
 // admission enforces the degraded limit S' instead of S (the availability
 // snapshot is taken once per call).
 func (s *System) Submit(arrival float64, dataBlock int64) Outcome {
-	return s.submit(arrival, dataBlock)
+	return s.submit(arrival, dataBlock, 0)
+}
+
+// SubmitTenant is Submit with a tenant identity: the request passes the
+// per-tenant mClock gate (arrival limit, then a reserved/weighted window
+// cap) before any S-bound ledger credit is consumed. Tenant indices are
+// the 1-based slots configured via SetTenants; 0 behaves exactly like
+// Submit. Unknown tenants are rejected, never served untenanted.
+func (s *System) SubmitTenant(arrival float64, dataBlock int64, tenant int32) Outcome {
+	return s.submit(arrival, dataBlock, tenant)
 }
 
 // SubmitBatch admits a set of simultaneous block requests jointly — the
@@ -219,7 +234,15 @@ func (s *System) Submit(arrival float64, dataBlock int64) Outcome {
 // the per-request path (delayed or rejected per policy). Outcomes are in
 // input order.
 func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
-	return s.submitBatch(arrival, blocks, nil)
+	return s.submitBatch(arrival, blocks, 0, nil)
+}
+
+// SubmitBatchTenant is SubmitBatch with a tenant identity for the whole
+// batch. Under an active tenant policy the batch takes the per-request
+// gated path (per-tenant window caps fragment the joint assignment);
+// tenant 0 behaves exactly like SubmitBatch.
+func (s *System) SubmitBatchTenant(arrival float64, blocks []int64, tenant int32) []Outcome {
+	return s.submitBatch(arrival, blocks, tenant, nil)
 }
 
 // SubmitWrite schedules a block write — an extension beyond the paper's
@@ -235,7 +258,35 @@ func (s *System) SubmitBatch(arrival float64, blocks []int64) []Outcome {
 // only the available replicas and consume only that many admission slots;
 // the rebuild scheduler owns bringing the missing copies back in sync.
 func (s *System) SubmitWrite(arrival float64, dataBlock int64) Outcome {
-	return s.submitWrite(arrival, dataBlock)
+	return s.submitWrite(arrival, dataBlock, 0)
+}
+
+// SubmitWriteTenant is SubmitWrite with a tenant identity: the write
+// charges one arrival against the tenant's limit and all c replica
+// slots (all-or-nothing) against its window cap before the S-bound
+// reservation. Tenant 0 behaves exactly like SubmitWrite.
+func (s *System) SubmitWriteTenant(arrival float64, dataBlock int64, tenant int32) Outcome {
+	return s.submitWrite(arrival, dataBlock, tenant)
+}
+
+// SetTenants validates and atomically installs a per-tenant QoS policy
+// (see internal/admission): slot i of specs is tenant index i+1,
+// ΣReserve must fit within S, and the surplus S − ΣReserve is shared by
+// weight. The swap is a snapshot publication — in-flight submissions
+// finish against the policy they loaded, nothing pauses, and the new
+// policy opens fresh per-window accounting. Passing a table with no
+// active slots turns the gate off. Per-tenant gauges survive
+// reconfiguration, keyed by tenant name.
+func (s *System) SetTenants(specs []admission.TenantSpec) error {
+	return s.tenants.Configure(specs)
+}
+
+// TenantSpecs returns a copy of the installed tenant slot table.
+func (s *System) TenantSpecs() []admission.TenantSpec { return s.tenants.Specs() }
+
+// TenantCounters reads a tenant's admission gauges by name.
+func (s *System) TenantCounters(name string) (admission.Counters, bool) {
+	return s.tenants.Counters(name)
 }
 
 // Q returns the statistical controller's current estimate of the

@@ -44,9 +44,10 @@ type engine struct {
 	reject     bool    // cfg.Policy == admission.Reject, hoisted likewise
 	hinted     bool    // ledger tracks a frontier and stat == nil
 
-	stat    *statGate       // nil for deterministic (see statgate.go)
-	health  *health.Monitor // nil unless AttachHealth was called
-	schedMu sync.Locker     // guards sched; noLock for single-caller systems
+	stat    *statGate        // nil for deterministic (see statgate.go)
+	health  *health.Monitor  // nil unless AttachHealth was called
+	tenants *admission.MClock // per-tenant gate; snapshot nil until configured
+	schedMu sync.Locker      // guards sched; noLock for single-caller systems
 	cfg     Config
 }
 
@@ -108,6 +109,13 @@ func newEngine(cfg Config) (*engine, error) {
 		s:          d.S(cfg.M),
 		ledger:     newSeqLedger(),
 		schedMu:    noLock{},
+	}
+	// The tenant gate partitions windows of the design capacity S; it
+	// stays off (nil snapshot, one untaken branch per tenanted request)
+	// until SetTenants installs a policy.
+	e.tenants, err = admission.NewMClock(e.s)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.Epsilon > 0 {
 		tab := cfg.Table
@@ -223,19 +231,61 @@ func (e *engine) deadBefore() int64 {
 	return e.window(minAll)
 }
 
+// gate loads the tenant-policy snapshot a tenanted submission decides
+// against and runs the arrival-side checks: unknown tenants and tenants
+// over their per-window arrival limit are finished immediately (done =
+// true, out filled in) without touching the ledger. Untenanted requests
+// (tenant == 0) and requests under a nil snapshot (gate off) pass
+// through with a nil snap — that path costs one predictable branch, and
+// for tenant == 0 not even the atomic snapshot load.
+func (e *engine) gate(arrival float64, tenant int32) (snap *admission.MCSnap, out Outcome, done bool) {
+	if tenant == 0 {
+		return nil, Outcome{}, false
+	}
+	snap = e.tenants.Snapshot()
+	if snap == nil {
+		return nil, Outcome{}, false
+	}
+	switch snap.NoteArrival(tenant, e.window(arrival)) {
+	case admission.Unknown:
+		// The slot was deleted between wire validation and submission;
+		// reject defensively rather than fall back to untenanted service.
+		return nil, Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}, true
+	case admission.OverLimit:
+		return nil, Outcome{Rejected: true, OverLimit: true, Admitted: arrival, Tenant: tenant}, true
+	}
+	return snap, Outcome{}, false
+}
+
 // submit runs one block read through admission control and online
 // retrieval: the shared implementation behind System.Submit and
-// ConcurrentSystem.Submit.
-func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
+// ConcurrentSystem.Submit. tenant is the 1-based tenant index the
+// request carries (0 = untenanted): tenanted requests pass the mClock
+// gate — arrival limit, then a per-window cap acquisition in front of
+// every ledger reservation — before consuming any S-bound credit.
+func (e *engine) submit(arrival float64, dataBlock int64, tenant int32) Outcome {
 	replicas := e.Replicas(dataBlock)
 	if e.stat != nil {
 		e.stat.closeUpTo(e.window(arrival), e.ledger)
+	}
+	snap, gout, done := e.gate(arrival, tenant)
+	if done {
+		return gout
 	}
 	// One availability snapshot per request: a FAIL/RECOVER racing with
 	// this submission lands on either side of the snapshot, never halfway.
 	mask, limit, masked := e.maskLimit()
 	if masked && aliveReplicas(replicas, mask) == 0 {
-		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+		if snap != nil {
+			snap.NoteRejected(tenant)
+		}
+		return Outcome{Rejected: true, Unavailable: true, Admitted: arrival, Tenant: tenant}
+	}
+	if snap != nil && snap.Cap(tenant) < 1 {
+		// A zero-cap tenant can never acquire a slot in any window; reject
+		// rather than walk windows forever under the Delay policy.
+		snap.NoteRejected(tenant)
+		return Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
 	}
 	tAdm := e.startFrom(arrival)
 	// w tracks window(tAdm) across the scan: advancing to the next window
@@ -243,6 +293,24 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 	// is exactly w+1), so only scheduler-driven jumps recompute it.
 	w := e.window(tAdm)
 	for {
+		// Tenant cap first: a tenant over its window share consumes no
+		// ledger credit, and under Delay it advances to the next window
+		// without moving the global frontier (the window may still have
+		// room for other tenants).
+		tenantReserved := false
+		if snap != nil {
+			res, ok := snap.Acquire(tenant, w, 1)
+			if !ok {
+				if e.reject {
+					snap.NoteRejected(tenant)
+					return Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
+				}
+				w++
+				tAdm = float64(w) * e.intervalMS
+				continue
+			}
+			tenantReserved = res
+		}
 		if !e.ledger.tryReserve(w, 1, limit) {
 			// Window w is full under the snapshot limit.
 			if e.stat != nil {
@@ -250,15 +318,27 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 					// Statistical path: admit past the deterministic limit;
 					// the request may queue behind busy replicas (§III-B).
 					e.ledger.add(w, 1)
-					return e.schedule(arrival, tAdm, replicas, mask, masked, false)
+					out := e.schedule(arrival, tAdm, replicas, mask, masked, false)
+					return e.noteAdmitted(snap, tenant, out)
 				} else if !e.reject {
 					// Full and refused by the published snapshot: closed
 					// for good, later scans skip it (statGate).
 					e.stat.noteDead(w)
 				}
 			}
+			if snap != nil {
+				// Give the tenant slot back; a reserved slot the global
+				// ledger would not honor is a reservation deficit.
+				snap.Release(tenant, w, 1)
+				if tenantReserved {
+					snap.NoteDeficit(tenant)
+				}
+			}
 			if e.reject {
-				return Outcome{Rejected: true, Admitted: arrival}
+				if snap != nil {
+					snap.NoteRejected(tenant)
+				}
+				return Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
 			}
 			if e.hinted {
 				e.ledger.noteFull(w + 1)
@@ -283,7 +363,7 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 		if tFree <= tAdm {
 			out := e.scheduleLocked(arrival, tAdm, replicas, mask, masked, true)
 			e.schedMu.Unlock()
-			return out
+			return e.noteAdmitted(snap, tenant, out)
 		}
 		if e.stat != nil && e.stat.wouldAdmit(e.ledger.count(w)) {
 			// Statistical path with the reservation kept: every replica is
@@ -291,7 +371,7 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 			// queues. count(w) already includes this request's slot.
 			out := e.scheduleLocked(arrival, tAdm, replicas, mask, masked, false)
 			e.schedMu.Unlock()
-			return out
+			return e.noteAdmitted(snap, tenant, out)
 		}
 		var dead int64
 		if e.hinted {
@@ -304,12 +384,27 @@ func (e *engine) submit(arrival float64, dataBlock int64) Outcome {
 		// exhaustion are excluded from future scans so sustained overload
 		// stays O(1) per request instead of crawling the backlog.
 		e.ledger.release(w, 1)
+		if snap != nil {
+			// The request moves to a later window, so the tenant slot in w
+			// goes back too (no deficit: nothing was refused).
+			snap.Release(tenant, w, 1)
+		}
 		if e.hinted {
 			e.ledger.noteDeadBefore(dead)
 		}
 		tAdm = tFree
 		w = e.window(tAdm)
 	}
+}
+
+// noteAdmitted stamps the tenant tag on an admitted outcome and bumps
+// the tenant's admitted gauge when the gate is on.
+func (e *engine) noteAdmitted(snap *admission.MCSnap, tenant int32, out Outcome) Outcome {
+	if snap != nil {
+		snap.NoteAdmitted(tenant)
+	}
+	out.Tenant = tenant
+	return out
 }
 
 // schedule wraps scheduleLocked in the scheduler lock.
@@ -352,25 +447,63 @@ func (e *engine) scheduleLocked(arrival, tAdm float64, replicas []int, mask uint
 
 // submitWrite schedules a block write: c admission slots in one window and
 // every available replica device idle simultaneously. Shared implementation
-// behind System.SubmitWrite and ConcurrentSystem.SubmitWrite.
-func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
+// behind System.SubmitWrite and ConcurrentSystem.SubmitWrite. A tenanted
+// write charges one arrival against the tenant's limit and c usage slots
+// (all-or-nothing) against its window cap.
+func (e *engine) submitWrite(arrival float64, dataBlock int64, tenant int32) Outcome {
 	replicas := e.Replicas(dataBlock)
 	if e.stat != nil {
 		e.stat.closeUpTo(e.window(arrival), e.ledger)
+	}
+	snap, gout, done := e.gate(arrival, tenant)
+	if done {
+		return gout
 	}
 	mask, limit, masked := e.maskLimit()
 	c := len(replicas)
 	if masked {
 		if c = aliveReplicas(replicas, mask); c == 0 {
-			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival}
+			if snap != nil {
+				snap.NoteRejected(tenant)
+			}
+			return Outcome{Rejected: true, Unavailable: true, Admitted: arrival, Tenant: tenant}
 		}
+	}
+	if snap != nil && snap.Cap(tenant) < c {
+		// The tenant's window share can never fit a c-slot write; reject
+		// rather than walk windows forever under the Delay policy.
+		snap.NoteRejected(tenant)
+		return Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
 	}
 	tAdm := e.startFrom(arrival)
 	w := e.window(tAdm)
 	for {
+		tenantReserved := false
+		if snap != nil {
+			res, ok := snap.Acquire(tenant, w, int32(c))
+			if !ok {
+				if e.reject {
+					snap.NoteRejected(tenant)
+					return Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
+				}
+				w++
+				tAdm = float64(w) * e.intervalMS
+				continue
+			}
+			tenantReserved = res
+		}
 		if !e.ledger.tryReserve(w, c, limit) {
+			if snap != nil {
+				snap.Release(tenant, w, int32(c))
+				if tenantReserved {
+					snap.NoteDeficit(tenant)
+				}
+			}
 			if e.reject {
-				return Outcome{Rejected: true, Admitted: arrival}
+				if snap != nil {
+					snap.NoteRejected(tenant)
+				}
+				return Outcome{Rejected: true, Admitted: arrival, Tenant: tenant}
 			}
 			// The window may still have room for smaller requests, so the
 			// frontier (which serves single-slot reads too) is not advanced.
@@ -409,14 +542,14 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 			if delay < 0 {
 				delay = 0
 			}
-			return Outcome{
+			return e.noteAdmitted(snap, tenant, Outcome{
 				Admitted: tAdm,
 				Device:   e.deviceBase + firstDev,
 				Start:    tAdm,
 				Finish:   finish,
 				Delay:    delay,
 				Delayed:  delay > delayTol,
-			}
+			})
 		}
 		var dead int64
 		if e.hinted {
@@ -424,6 +557,9 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 		}
 		e.schedMu.Unlock()
 		e.ledger.release(w, c)
+		if snap != nil {
+			snap.Release(tenant, w, int32(c))
+		}
 		if e.hinted {
 			e.ledger.noteDeadBefore(dead)
 		}
@@ -437,12 +573,23 @@ func (e *engine) submitWrite(arrival float64, dataBlock int64) Outcome {
 // ConcurrentSystem.SubmitBatch. A nil scratch allocates fresh result and
 // working buffers (safe to retain); a non-nil scratch makes the steady
 // state allocation-free, with the returned slice valid until its next use.
-func (e *engine) submitBatch(arrival float64, blocks []int64, sc *BatchScratch) []Outcome {
+func (e *engine) submitBatch(arrival float64, blocks []int64, tenant int32, sc *BatchScratch) []Outcome {
 	if len(blocks) == 0 {
 		return nil
 	}
 	if sc == nil {
 		sc = &BatchScratch{}
+	}
+	if tenant != 0 && e.tenants.Snapshot() != nil {
+		// The joint assignment admits the whole batch into one window;
+		// per-tenant window caps fragment that, so tenanted batches under
+		// an active policy take the per-request path (each request runs
+		// the full gate + scan; outcomes stay in input order).
+		out := sc.outcomes(len(blocks))
+		for i, b := range blocks {
+			out[i] = e.submit(arrival, b, tenant)
+		}
+		return out
 	}
 	if e.stat != nil {
 		e.stat.closeUpTo(e.window(arrival), e.ledger)
@@ -539,7 +686,14 @@ func (e *engine) submitBatch(arrival float64, blocks []int64, sc *BatchScratch) 
 	}
 	// Overflow: per-request path (next windows).
 	for i := take; i < len(blocks); i++ {
-		out[i] = e.submit(arrival, blocks[i])
+		out[i] = e.submit(arrival, blocks[i], tenant)
+	}
+	if tenant != 0 {
+		// Gate off (nil snapshot) but the batch was tagged: the tag still
+		// flows through to the outcomes.
+		for i := range out {
+			out[i].Tenant = tenant
+		}
 	}
 	return out
 }

@@ -568,16 +568,36 @@ func TestAblationMClock(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
 	}
-	paper, mclock := rows[0], rows[1]
-	// The paper's system keeps post-admission response flat at one service
-	// time — its defining property; mClock cannot make that promise.
-	if !paper.VictimFlatNs {
-		t.Error("paper QoS response should stay flat at the service time")
+	blind, gated := rows[0], rows[1]
+	// Both rows keep post-admission response flat at one service time —
+	// the gate shapes who is admitted, never what admission guarantees.
+	if !blind.VictimFlatNs {
+		t.Error("tenant-blind QoS response should stay flat at the service time")
 	}
-	if mclock.VictimFlatNs {
-		t.Error("mClock should not be reported as flat")
+	if !gated.VictimFlatNs {
+		t.Error("gated QoS response should stay flat at the service time")
 	}
-	// Both systems serve the victim with finite, sane latencies.
+	// Tenant-blind FCFS makes the victim wait out the aggressor's burst
+	// backlog; the gate clips the burst at the aggressor's share so the
+	// victim's arrival-to-completion latency collapses to near one
+	// service time.
+	if blind.VictimMaxMS < 1 {
+		t.Errorf("blind victim max %.4f: the burst should visibly delay the victim", blind.VictimMaxMS)
+	}
+	if gated.VictimMaxMS > 0.5 {
+		t.Errorf("gated victim max %.4f, want near one service time", gated.VictimMaxMS)
+	}
+	if gated.VictimAvgMS >= blind.VictimAvgMS {
+		t.Errorf("gate did not help: gated avg %.4f >= blind avg %.4f",
+			gated.VictimAvgMS, blind.VictimAvgMS)
+	}
+	if blind.AggressorShaped != 0 {
+		t.Errorf("blind row shaped %d aggressor requests without a gate", blind.AggressorShaped)
+	}
+	if gated.AggressorShaped == 0 {
+		t.Error("gated row shaped no aggressor requests")
+	}
+	// Sanity on the latency summaries themselves.
 	for _, r := range rows {
 		if r.VictimAvgMS < 0.132 {
 			t.Errorf("%s: victim avg %.4f below service time", r.System, r.VictimAvgMS)

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"container/heap"
 	"math/rand"
 	"sort"
 
@@ -11,25 +10,30 @@ import (
 	"flashqos/internal/stats"
 )
 
-// MClockRow summarizes one scheduler's treatment of the victim tenant.
+// MClockRow summarizes one configuration's treatment of the victim tenant.
 type MClockRow struct {
 	System       string
-	VictimAvgMS  float64 // arrival-to-completion latency
+	VictimAvgMS  float64 // arrival-to-completion latency, admitted requests
 	VictimP99MS  float64
 	VictimMaxMS  float64
 	VictimFlatNs bool // post-admission response always one service time
+	// AggressorShaped counts aggressor requests the tenant gate refused
+	// over-limit (0 when no gate is installed).
+	AggressorShaped int
 }
 
-// AblationMClock contrasts the paper's admission-control QoS with an
-// mClock-style proportional-share scheduler under a bursty aggressor: a
-// steady victim tenant shares the array with a tenant that emits intense
-// bursts. mClock (with a reservation for the victim) shapes rates, so the
-// victim keeps its throughput but individual requests queue behind
-// in-flight work during bursts; the paper's QoS keeps every admitted
-// request at exactly one service time but its FCFS admission makes the
-// victim wait out full windows during bursts. The two systems protect
-// different things — rate versus response time — which is the gap the
-// paper positions itself in.
+// AblationMClock contrasts the paper's tenant-blind admission with the same
+// admission composed behind the mClock-style tenant gate, under a bursty
+// aggressor: a steady victim tenant shares the array with a tenant that
+// emits intense bursts. Tenant-blind FCFS admits the whole burst, so the
+// victim's arrival-to-completion latency stretches while devices drain the
+// aggressor's backlog. The gate gives the victim a reserved slice of every
+// S-window and caps the aggressor's per-window arrivals, so the burst is
+// clipped at admission and the victim's latency stays near one service
+// time. The property the refactor preserves is the paper's headline: in
+// both rows every admitted request still completes in exactly one service
+// time after admission — the gate shapes who is admitted, never what
+// admission guarantees.
 func AblationMClock(seed int64) ([]MClockRow, error) {
 	const (
 		service  = 0.132507
@@ -51,11 +55,12 @@ func AblationMClock(seed int64) ([]MClockRow, error) {
 		}
 		reqs = append(reqs, req{at: t, victim: true, block: rng.Int63n(200)})
 	}
-	// Aggressor: 40/ms bursts of 2 ms every 10 ms.
+	// Aggressor: 80/ms bursts of 2 ms every 10 ms — past the array's
+	// service rate, so unshaped bursts build a real backlog.
 	for burst := 5.0; burst < duration; burst += 10 {
 		t = burst
 		for {
-			t += rng.ExpFloat64() / 40
+			t += rng.ExpFloat64() / 80
 			if t >= burst+2 {
 				break
 			}
@@ -64,19 +69,35 @@ func AblationMClock(seed int64) ([]MClockRow, error) {
 	}
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].at < reqs[j].at })
 
-	var rows []MClockRow
-
-	// --- Paper QoS (deterministic, FCFS) ---
-	{
+	run := func(system string, specs []admission.TenantSpec) (MClockRow, error) {
 		sys, err := core.New(core.Config{Design: design.Paper931(), DisableFIM: true})
 		if err != nil {
-			return nil, err
+			return MClockRow{}, err
+		}
+		victimIdx, aggressorIdx := int32(0), int32(0)
+		if specs != nil {
+			if err := sys.SetTenants(specs); err != nil {
+				return MClockRow{}, err
+			}
+			victimIdx, aggressorIdx = 1, 2
 		}
 		var lat stats.Summary
 		var all []float64
 		flat := true
+		shaped := 0
 		for _, r := range reqs {
-			out := sys.Submit(r.at, r.block)
+			tenant := aggressorIdx
+			if r.victim {
+				tenant = victimIdx
+			}
+			out := sys.SubmitTenant(r.at, r.block, tenant)
+			if out.OverLimit {
+				shaped++
+				continue
+			}
+			if out.Rejected {
+				continue
+			}
 			if out.Response() > service+1e-9 {
 				flat = false
 			}
@@ -86,102 +107,32 @@ func AblationMClock(seed int64) ([]MClockRow, error) {
 				all = append(all, l)
 			}
 		}
-		rows = append(rows, MClockRow{
-			System:      "paper QoS (deterministic)",
+		return MClockRow{
+			System:      system,
 			VictimAvgMS: lat.Mean(), VictimP99MS: stats.Percentile(all, 99), VictimMaxMS: lat.Max(),
-			VictimFlatNs: flat,
-		})
+			VictimFlatNs:    flat,
+			AggressorShaped: shaped,
+		}, nil
 	}
 
-	// --- mClock over 9 parallel servers ---
-	{
-		mc, err := admission.NewMClock(9 / service)
-		if err != nil {
-			return nil, err
-		}
-		if err := mc.AddTenant("victim", 2, 0, 1); err != nil {
-			return nil, err
-		}
-		if err := mc.AddTenant("aggressor", 0, 0, 1); err != nil {
-			return nil, err
-		}
-		servers := &floatHeap{}
-		for i := 0; i < 9; i++ {
-			heap.Push(servers, 0.0)
-		}
-		var lat stats.Summary
-		var all []float64
-		arrival := map[int64]float64{}
-		victim := map[int64]bool{}
-		ri := 0
-		now := 0.0
-		served := 0
-		for served < len(reqs) {
-			// Feed arrivals up to now.
-			for ri < len(reqs) && reqs[ri].at <= now {
-				name := "aggressor"
-				if reqs[ri].victim {
-					name = "victim"
-				}
-				id := int64(ri)
-				arrival[id] = reqs[ri].at
-				victim[id] = reqs[ri].victim
-				if err := mc.Submit(name, id, reqs[ri].at); err != nil {
-					return nil, err
-				}
-				ri++
-			}
-			_, id, ok := mc.Dispatch(now)
-			if !ok {
-				// Idle: advance to the next arrival.
-				if ri < len(reqs) {
-					now = reqs[ri].at
-					continue
-				}
-				break
-			}
-			free := heap.Pop(servers).(float64)
-			start := now
-			if free > start {
-				start = free
-			}
-			finish := start + service
-			heap.Push(servers, finish)
-			if victim[id] {
-				l := finish - arrival[id]
-				lat.Add(l)
-				all = append(all, l)
-			}
-			served++
-			// Next decision point: when the earliest server frees or a new
-			// arrival lands, whichever first.
-			next := (*servers)[0]
-			if ri < len(reqs) && reqs[ri].at < next {
-				next = reqs[ri].at
-			}
-			if next > now {
-				now = next
-			}
-		}
-		rows = append(rows, MClockRow{
-			System:      "mClock (reservation 2/ms)",
-			VictimAvgMS: lat.Mean(), VictimP99MS: stats.Percentile(all, 99), VictimMaxMS: lat.Max(),
-			VictimFlatNs: false,
-		})
+	blind, err := run("paper QoS, tenant-blind", nil)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
-}
-
-// floatHeap is a min-heap of times.
-type floatHeap []float64
-
-func (h floatHeap) Len() int            { return len(h) }
-func (h floatHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *floatHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+	// Victim reserves 2 of the S=5 slots per window and the aggressor is
+	// limited to 1 arrival per window — exactly its weighted share of the
+	// surplus. The limit matters as much as the reservation: over-limit
+	// arrivals are rejected at the gate (no ledger credit, no device
+	// time), whereas over-cap arrivals under the Delay policy spill into
+	// future windows and stake the device timeline, which the FCFS
+	// scheduler never back-fills. Clipping the burst at its share is what
+	// keeps the victim's windows genuinely free.
+	gated, err := run("paper QoS + tenant gate", []admission.TenantSpec{
+		{Name: "victim", Reserve: 2, Weight: 3},
+		{Name: "aggressor", Limit: 1, Weight: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []MClockRow{blind, gated}, nil
 }

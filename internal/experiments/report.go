@@ -155,5 +155,18 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 		p("| %s | %.4f | %.4f |\n", r.Name, r.Mean, r.Std)
 	}
 	p("\n")
+
+	// Tenant gate vs tenant-blind admission under a bursty aggressor.
+	mc, err := AblationMClock(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	p("## Tenant gate — victim latency under a bursty aggressor (ms)\n\n")
+	p("| system | avg | p99 | max | flat response | aggressor shaped |\n|---|---|---|---|---|---|\n")
+	for _, r := range mc {
+		p("| %s | %.4f | %.4f | %.4f | %v | %d |\n",
+			r.System, r.VictimAvgMS, r.VictimP99MS, r.VictimMaxMS, r.VictimFlatNs, r.AggressorShaped)
+	}
+	p("\n")
 	return nil
 }

@@ -454,6 +454,12 @@ func (p *Proxy) handle(conn net.Conn) {
 			p.aggregateHealth(w, h)
 		case wire.OpShardStats:
 			p.aggregateShardStats(w, h)
+		case wire.OpTenantHello:
+			p.forwardTenantHello(w, h, payload)
+		case wire.OpTenant:
+			p.forwardTenant(w, h, payload)
+		case wire.OpTenantStats:
+			p.aggregateTenantStats(w, h)
 		case wire.OpQuit:
 			return
 		default:
@@ -469,10 +475,22 @@ func (p *Proxy) handle(conn net.Conn) {
 // forwardSubmit routes one READ/WRITE to the owning backend and streams
 // the completion back asynchronously with the device id globalized. This
 // is the hot path: no waiting, the client's pipeline depth carries
-// through to the backend pool.
+// through to the backend pool. A tenant-tagged frame (FlagTenant) is
+// forwarded with its flag and payload unchanged — the backend owns tenant
+// validation and answers an unknown index with the error frame relayed
+// below — the proxy only decodes the block id to route.
 func (p *Proxy) forwardSubmit(w *connWriter, h wire.Header, payload []byte) {
 	resp := wire.Header{Opcode: h.Opcode, ID: h.ID}
-	block, err := wire.ParseBlock(payload)
+	var (
+		block int64
+		err   error
+	)
+	flags := h.Flags & wire.FlagTenant
+	if flags != 0 {
+		block, _, err = wire.ParseTenantBlock(payload)
+	} else {
+		block, err = wire.ParseBlock(payload)
+	}
 	if err != nil {
 		w.writeError(resp, "bad block payload")
 		return
@@ -483,8 +501,9 @@ func (p *Proxy) forwardSubmit(w *connWriter, h wire.Header, payload []byte) {
 		return
 	}
 	off := int32(b.offset)
-	var buf [8]byte
-	b.client().Call(h.Opcode, wire.AppendBlock(buf[:0], block),
+	// CallFlags copies the payload into the pool connection's write buffer
+	// before returning, so forwarding the reader's bytes directly is safe.
+	b.client().CallFlags(h.Opcode, flags, payload,
 		func(rh wire.Header, rp []byte, rerr error) {
 			if rerr != nil {
 				w.writeError(resp, rerr.Error())
@@ -701,6 +720,27 @@ func (p *Proxy) metrics(w *connWriter, h wire.Header) {
 	buf = append(buf, "\nflashqos_proxy_rejected_total "...)
 	buf = strconv.AppendInt(buf, agg.Rejected, 10)
 	buf = append(buf, '\n')
+	// Cluster-wide tenant gauges, merged across backends by name. A fan-out
+	// failure drops the section rather than the whole page: the topology
+	// gauges above stay scrapeable while a backend is flapping.
+	if tenants, err := p.gatherTenantStats(); err == nil && len(tenants) > 0 {
+		appendSeries := func(name string, pick func(wire.TenantEntry) int64) {
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, name...)
+			buf = append(buf, " counter\n"...)
+			for _, e := range tenants {
+				buf = append(buf, name...)
+				buf = append(buf, "{tenant=\""...)
+				buf = append(buf, e.Spec.Name...)
+				buf = append(buf, "\"} "...)
+				buf = strconv.AppendInt(buf, pick(e), 10)
+				buf = append(buf, '\n')
+			}
+		}
+		appendSeries("flashqos_proxy_tenant_admitted_total", func(e wire.TenantEntry) int64 { return e.Admitted })
+		appendSeries("flashqos_proxy_tenant_rejected_total", func(e wire.TenantEntry) int64 { return e.Rejected })
+		appendSeries("flashqos_proxy_tenant_over_limit_total", func(e wire.TenantEntry) int64 { return e.OverLimit })
+	}
 	w.writeFrame(resp, buf)
 }
 

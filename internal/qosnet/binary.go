@@ -8,10 +8,34 @@ import (
 	"strconv"
 	"time"
 
+	"flashqos/internal/admission"
 	"flashqos/internal/core"
 	"flashqos/internal/shard"
 	"flashqos/internal/wire"
 )
+
+// errUnknownTenant is the uniform refusal for a submission tagged with an
+// index (binary) or name (text) that no active tenant holds: both
+// protocols answer with this exact message, never by silently running the
+// request untenanted.
+var errUnknownTenant = errors.New("unknown tenant")
+
+// tenantEntry converts one tenant's aggregated shard counters to wire form.
+func tenantEntry(tc shard.TenantCounters) wire.TenantEntry {
+	return wire.TenantEntry{
+		Index: tc.Index,
+		Spec: wire.TenantSpec{
+			Name:    tc.Spec.Name,
+			Reserve: int32(tc.Spec.Reserve),
+			Limit:   int32(tc.Spec.Limit),
+			Weight:  tc.Spec.Weight,
+		},
+		Admitted:  tc.Admitted,
+		Rejected:  tc.Rejected,
+		OverLimit: tc.OverLimit,
+		Deficit:   tc.Deficit,
+	}
+}
 
 // maxBatchBlocks caps one OpBatch request; larger batches get an error
 // frame (and the payload cap usually refuses them first).
@@ -31,6 +55,9 @@ func toWireOutcome(out core.Outcome) wire.Outcome {
 		o := wire.Outcome{Device: -1, Status: wire.StatusRejected}
 		if out.Unavailable {
 			o.Status |= wire.StatusUnavailable
+		}
+		if out.OverLimit {
+			o.Status |= wire.StatusOverLimit
 		}
 		return o
 	}
@@ -142,14 +169,34 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 		}
 		resp := wire.Header{Opcode: h.Opcode, ID: h.ID}
 		if h.Opcode == wire.OpSubmit || h.Opcode == wire.OpWrite {
-			block, perr := wire.ParseBlock(payload)
+			var (
+				block  int64
+				tenant int32
+				perr   error
+			)
+			if h.Flags&wire.FlagTenant != 0 {
+				// Tenant-tagged request: the payload carries a trailing
+				// uvarint index, validated lock-free against the active-slot
+				// table. An unknown index gets a uniform error frame — never
+				// a silent fall back to the untenanted path.
+				block, tenant, perr = wire.ParseTenantBlock(payload)
+				if perr == nil && !s.arr.TenantActive(tenant) {
+					perr = errUnknownTenant
+				}
+			} else {
+				block, perr = wire.ParseBlock(payload)
+			}
 			if perr != nil {
 				// The burst collected so far answers first so responses
 				// stay in request order.
 				if flushBurst() != nil {
 					return
 				}
-				if wr.WriteError(resp, "bad block payload") != nil {
+				msg := "bad block payload"
+				if perr == errUnknownTenant {
+					msg = perr.Error()
+				}
+				if wr.WriteError(resp, msg) != nil {
 					return
 				}
 			} else {
@@ -158,7 +205,7 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 					sh = shard.Route(block, nshards)
 				}
 				shIDs[sh] = append(shIDs[sh], h.ID)
-				shReqs[sh] = append(shReqs[sh], core.BurstReq{Block: block, Write: h.Opcode == wire.OpWrite})
+				shReqs[sh] = append(shReqs[sh], core.BurstReq{Block: block, Tenant: tenant, Write: h.Opcode == wire.OpWrite})
 				collected++
 				// Keep draining while the read buffer holds further
 				// complete frames — they arrived together and admit as one
@@ -328,6 +375,60 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, st *stripe) {
 				break
 			}
 			err = wr.WriteOutcome(resp, toWireOutcome(out))
+		case wire.OpTenantHello:
+			names, perr := wire.ParseTenantHelloReq(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad tenant hello payload")
+				break
+			}
+			idx := make([]int32, len(names))
+			for i, n := range names {
+				idx[i] = s.arr.TenantIndex(n)
+			}
+			scratch = wire.AppendTenantHelloResp(scratch[:0], idx)
+			err = wr.WriteFrame(resp, scratch)
+		case wire.OpTenant:
+			cmd, spec, perr := wire.ParseTenantReq(payload)
+			if perr != nil {
+				err = wr.WriteError(resp, "bad tenant payload")
+				break
+			}
+			switch cmd {
+			case wire.TenantCmdSet:
+				idx, terr := s.arr.TenantSet(admission.TenantSpec{
+					Name:    spec.Name,
+					Reserve: int(spec.Reserve),
+					Limit:   int(spec.Limit),
+					Weight:  spec.Weight,
+				})
+				if terr != nil {
+					err = wr.WriteError(resp, terr.Error())
+					break
+				}
+				scratch = wire.AppendInt32(scratch[:0], idx)
+				err = wr.WriteFrame(resp, scratch)
+			case wire.TenantCmdGet:
+				tc, ok := s.arr.TenantGet(spec.Name)
+				if !ok {
+					err = wr.WriteError(resp, errUnknownTenant.Error())
+					break
+				}
+				scratch = wire.AppendTenantStats(scratch[:0], []wire.TenantEntry{tenantEntry(tc)})
+				err = wr.WriteFrame(resp, scratch)
+			case wire.TenantCmdDel:
+				if terr := s.arr.TenantDel(spec.Name); terr != nil {
+					err = wr.WriteError(resp, terr.Error())
+					break
+				}
+				err = wr.WriteFrame(resp, nil)
+			}
+		case wire.OpTenantStats:
+			var entries []wire.TenantEntry
+			for _, tc := range s.arr.TenantStats() {
+				entries = append(entries, tenantEntry(tc))
+			}
+			scratch = wire.AppendTenantStats(scratch[:0], entries)
+			err = wr.WriteFrame(resp, scratch)
 		case wire.OpQuit:
 			bw.Flush()
 			return

@@ -2,6 +2,7 @@ package qosnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -172,13 +173,19 @@ func (c *BinaryClient) unregister(id uint64) {
 // send frames one request. The payload bytes are copied into the write
 // buffer before send returns.
 func (c *BinaryClient) send(op uint8, id uint64, payload []byte) error {
+	return c.sendFlags(op, 0, id, payload)
+}
+
+// sendFlags is send with explicit header flags (FlagTenant marks a
+// tenant-tagged submission payload).
+func (c *BinaryClient) sendFlags(op, flags uint8, id uint64, payload []byte) error {
 	c.wmu.Lock()
 	if c.werr != nil {
 		err := c.werr
 		c.wmu.Unlock()
 		return err
 	}
-	err := c.wr.WriteFrame(wire.Header{Opcode: op, ID: id}, payload)
+	err := c.wr.WriteFrame(wire.Header{Opcode: op, Flags: flags, ID: id}, payload)
 	if err != nil {
 		c.werr = err
 	}
@@ -208,11 +215,12 @@ func errorFrame(payload []byte) error { return errors.New("qosnet: server error:
 
 func fromWireOutcome(o wire.Outcome) ReadResult {
 	return ReadResult{
-		Device:   int(o.Device),
-		DelayMS:  o.DelayMS,
-		RespMS:   o.RespMS,
-		Delayed:  o.Delayed(),
-		Rejected: o.Rejected(),
+		Device:    int(o.Device),
+		DelayMS:   o.DelayMS,
+		RespMS:    o.RespMS,
+		Delayed:   o.Delayed(),
+		Rejected:  o.Rejected(),
+		OverLimit: o.OverLimit(),
 	}
 }
 
@@ -229,6 +237,34 @@ func (c *BinaryClient) WriteAsync(block int64) <-chan SubmitResult {
 }
 
 func (c *BinaryClient) submitAsync(op uint8, block int64) <-chan SubmitResult {
+	return c.submitTenantAsync(op, block, 0)
+}
+
+// SubmitTenantAsync enqueues a pipelined block read under a tenant index
+// (1-based, negotiated via TenantHello). The server answers an unknown
+// index with an error frame, never a silent untenanted admission.
+func (c *BinaryClient) SubmitTenantAsync(block int64, tenant int32) <-chan SubmitResult {
+	return c.submitTenantAsync(wire.OpSubmit, block, tenant)
+}
+
+// WriteTenantAsync enqueues a pipelined block write under a tenant index.
+func (c *BinaryClient) WriteTenantAsync(block int64, tenant int32) <-chan SubmitResult {
+	return c.submitTenantAsync(wire.OpWrite, block, tenant)
+}
+
+// ReadTenant submits a tenant-tagged block read and waits for the outcome.
+func (c *BinaryClient) ReadTenant(block int64, tenant int32) (ReadResult, error) {
+	res := <-c.SubmitTenantAsync(block, tenant)
+	return res.ReadResult, res.Err
+}
+
+// WriteTenant submits a tenant-tagged block write and waits for the outcome.
+func (c *BinaryClient) WriteTenant(block int64, tenant int32) (ReadResult, error) {
+	res := <-c.WriteTenantAsync(block, tenant)
+	return res.ReadResult, res.Err
+}
+
+func (c *BinaryClient) submitTenantAsync(op uint8, block int64, tenant int32) <-chan SubmitResult {
 	ch := make(chan SubmitResult, 1)
 	id := c.nextID.Add(1)
 	cb := func(h wire.Header, payload []byte, err error) {
@@ -251,9 +287,18 @@ func (c *BinaryClient) submitAsync(op uint8, block int64) <-chan SubmitResult {
 		ch <- SubmitResult{ID: id, Err: err}
 		return ch
 	}
-	var payload [8]byte
-	p := wire.AppendBlock(payload[:0], block)
-	if err := c.send(op, id, p); err != nil {
+	// The tenant tag adds a flag bit and a trailing uvarint; untenanted
+	// requests keep the exact 8-byte payload and zero flags.
+	var payload [13]byte
+	var p []byte
+	var flags uint8
+	if tenant != 0 {
+		p = wire.AppendTenantBlock(payload[:0], block, tenant)
+		flags = wire.FlagTenant
+	} else {
+		p = wire.AppendBlock(payload[:0], block)
+	}
+	if err := c.sendFlags(op, flags, id, p); err != nil {
 		c.unregister(id)
 		ch <- SubmitResult{ID: id, Err: err}
 	}
@@ -267,12 +312,18 @@ func (c *BinaryClient) submitAsync(op uint8, block int64) <-chan SubmitResult {
 // building block the proxy tier forwards frames with — no per-request
 // round-trip serialization.
 func (c *BinaryClient) Call(op uint8, payload []byte, cb func(h wire.Header, payload []byte, err error)) {
+	c.CallFlags(op, 0, payload, cb)
+}
+
+// CallFlags is Call with explicit request header flags — the proxy uses it
+// to forward tenant-tagged frames (FlagTenant) without re-encoding them.
+func (c *BinaryClient) CallFlags(op, flags uint8, payload []byte, cb func(h wire.Header, payload []byte, err error)) {
 	id := c.nextID.Add(1)
 	if err := c.register(id, cb); err != nil {
 		cb(wire.Header{}, nil, err)
 		return
 	}
-	if err := c.send(op, id, payload); err != nil {
+	if err := c.sendFlags(op, flags, id, payload); err != nil {
 		c.unregister(id)
 		cb(wire.Header{}, nil, err)
 	}
@@ -526,4 +577,71 @@ func (c *BinaryClient) ShardStats() ([]wire.ShardGauge, error) {
 		return nil, err
 	}
 	return wire.ParseShardStats(payload)
+}
+
+// TenantHello resolves tenant names to their stable 1-based indices, in
+// request order; an unknown name resolves to 0. Indices — not names — tag
+// the per-request hot path (SubmitTenantAsync), so clients hello once per
+// connection and cache the mapping.
+func (c *BinaryClient) TenantHello(names []string) ([]int32, error) {
+	_, payload, err := c.do(wire.OpTenantHello, wire.AppendTenantHelloReq(nil, names))
+	if err != nil {
+		return nil, err
+	}
+	idx, perr := wire.ParseTenantHelloResp(payload)
+	if perr != nil {
+		return nil, perr
+	}
+	if len(idx) != len(names) {
+		return nil, fmt.Errorf("qosnet: tenant hello answered %d of %d names", len(idx), len(names))
+	}
+	return idx, nil
+}
+
+// TenantSet installs or updates one tenant's QoS policy live (admin) and
+// returns its stable 1-based index.
+func (c *BinaryClient) TenantSet(spec wire.TenantSpec) (int32, error) {
+	_, payload, err := c.do(wire.OpTenant, wire.AppendTenantReq(nil, wire.TenantCmdSet, spec))
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("qosnet: bad TENANT SET response (%d bytes)", len(payload))
+	}
+	idx := int32(binary.LittleEndian.Uint32(payload))
+	if idx < 1 {
+		return 0, fmt.Errorf("qosnet: bad TENANT SET index %d", idx)
+	}
+	return idx, nil
+}
+
+// TenantGet fetches one tenant's policy and cross-shard gauges (admin).
+func (c *BinaryClient) TenantGet(name string) (wire.TenantEntry, error) {
+	_, payload, err := c.do(wire.OpTenant, wire.AppendTenantReq(nil, wire.TenantCmdGet, wire.TenantSpec{Name: name}))
+	if err != nil {
+		return wire.TenantEntry{}, err
+	}
+	entries, perr := wire.ParseTenantStats(payload)
+	if perr != nil {
+		return wire.TenantEntry{}, perr
+	}
+	if len(entries) != 1 {
+		return wire.TenantEntry{}, fmt.Errorf("qosnet: TENANT GET answered %d entries", len(entries))
+	}
+	return entries[0], nil
+}
+
+// TenantDel deactivates a tenant (admin); its index stays reserved.
+func (c *BinaryClient) TenantDel(name string) error {
+	_, _, err := c.do(wire.OpTenant, wire.AppendTenantReq(nil, wire.TenantCmdDel, wire.TenantSpec{Name: name}))
+	return err
+}
+
+// TenantStats fetches every active tenant's policy and gauges.
+func (c *BinaryClient) TenantStats() ([]wire.TenantEntry, error) {
+	_, payload, err := c.do(wire.OpTenantStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.ParseTenantStats(payload)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"flashqos/internal/admission"
 	"flashqos/internal/core"
 	"flashqos/internal/design"
 	"flashqos/internal/health"
@@ -19,7 +20,7 @@ import (
 // flashqos_-prefixed samples, and the blank terminator (skipped by the
 // caller).
 func validResponseLine(line string) bool {
-	for _, p := range []string{"OK ", "REJECTED", "MAP ", "STATS ", "ERR ", "# ", "flashqos_", "HEALTH ", "DEV "} {
+	for _, p := range []string{"OK ", "REJECTED", "MAP ", "STATS ", "ERR ", "# ", "flashqos_", "HEALTH ", "DEV ", "TENANT "} {
 		if strings.HasPrefix(line, p) {
 			return true
 		}
@@ -57,6 +58,10 @@ func FuzzHandle(f *testing.F) {
 		"READ " + strings.Repeat("9", 2000) + "\n",
 		"\x00\xff\xfe garbage \x01\n",
 		"READ 5", // no trailing newline
+		"TENANT SET alpha 3 0 2\nREAD 5 alpha\nTENANT GET alpha\nTENANT DEL alpha\n",
+		"READ 5 ghost\nWRITE 5 ghost\n",
+		"TENANT\nTENANT SET\nTENANT SET a x y z\nTENANT GET ghost\nTENANT DEL ghost\nTENANT BOGUS a\n",
+		"TENANT SET big 99 0 1\nTENANT SET a 2 -1 0\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -277,6 +282,91 @@ func FuzzHandleBinary(f *testing.F) {
 		case <-done:
 		case <-time.After(10 * time.Second):
 			t.Fatal("binary handler did not terminate")
+		}
+		client.Close()
+		<-respDone
+	})
+}
+
+// FuzzHandleTenant is FuzzHandleBinary against a server with a live tenant
+// policy: tenant-tagged submissions (valid, inactive, and malformed
+// indices), the tenant admin opcodes, and plain frames interleave on one
+// connection. The handler must not panic, every response frame must be
+// well-formed, and — because the seeds include TENANT SET/DEL — the
+// registry gets reconfigured mid-stream under whatever ordering the fuzzer
+// finds.
+func FuzzHandleTenant(f *testing.F) {
+	frame := func(prev []byte, op, flags uint8, id uint64, payload []byte) []byte {
+		return wire.AppendFrame(prev, wire.Header{Opcode: op, Flags: flags, ID: id}, payload)
+	}
+	// Tenant-tagged submissions: index 1 is configured, 2 is inactive.
+	f.Add(frame(nil, wire.OpSubmit, wire.FlagTenant, 1, wire.AppendTenantBlock(nil, 42, 1)))
+	f.Add(frame(nil, wire.OpWrite, wire.FlagTenant, 2, wire.AppendTenantBlock(nil, 7, 1)))
+	f.Add(frame(nil, wire.OpSubmit, wire.FlagTenant, 3, wire.AppendTenantBlock(nil, 42, 2)))
+	// Malformed tenant payloads: zero index, truncated varint, trailing.
+	f.Add(frame(nil, wire.OpSubmit, wire.FlagTenant, 4, append(wire.AppendBlock(nil, 1), 0)))
+	f.Add(frame(nil, wire.OpSubmit, wire.FlagTenant, 5, append(wire.AppendBlock(nil, 1), 0x80)))
+	f.Add(frame(nil, wire.OpSubmit, wire.FlagTenant, 6, append(wire.AppendTenantBlock(nil, 1, 1), 9)))
+	// FlagTenant on a plain 8-byte payload, and a tagged payload without it.
+	f.Add(frame(nil, wire.OpSubmit, wire.FlagTenant, 7, wire.AppendBlock(nil, 1)))
+	f.Add(frame(nil, wire.OpSubmit, 0, 8, wire.AppendTenantBlock(nil, 1, 1)))
+	// Admin opcodes, including mid-stream reconfiguration.
+	f.Add(frame(nil, wire.OpTenantHello, 0, 9, wire.AppendTenantHelloReq(nil, []string{"alpha", "ghost"})))
+	f.Add(frame(nil, wire.OpTenant, 0, 10, wire.AppendTenantReq(nil, wire.TenantCmdSet,
+		wire.TenantSpec{Name: "beta", Reserve: 2, Limit: 6, Weight: 1})))
+	f.Add(frame(
+		frame(nil, wire.OpTenant, 0, 11, wire.AppendTenantReq(nil, wire.TenantCmdDel, wire.TenantSpec{Name: "alpha"})),
+		wire.OpSubmit, wire.FlagTenant, 12, wire.AppendTenantBlock(nil, 3, 1)))
+	f.Add(frame(nil, wire.OpTenant, 0, 13, wire.AppendTenantReq(nil, wire.TenantCmdGet, wire.TenantSpec{Name: "alpha"})))
+	f.Add(frame(nil, wire.OpTenant, 0, 14, []byte{9, 1, 'x'}))
+	f.Add(frame(nil, wire.OpTenantStats, 0, 15, nil))
+	f.Add(frame(nil, wire.OpTenant, 0, 16, wire.AppendTenantReq(nil, wire.TenantCmdSet,
+		wire.TenantSpec{Name: "huge", Reserve: 99, Limit: 0, Weight: 1}))) // reserve beyond S
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := core.New(core.Config{Design: design.Paper931()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerOpts(sys, Options{
+			ReadTimeout:     2 * time.Second,
+			MaxPayloadBytes: 1 << 16,
+			Proto:           ProtoBinary,
+		})
+		if _, err := srv.Array().TenantSet(admission.TenantSpec{Name: "alpha", Reserve: 3, Limit: 8, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		client, server := net.Pipe()
+		defer client.Close()
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handle(server)
+		}()
+		respDone := make(chan struct{})
+		go func() {
+			defer close(respDone)
+			rd := wire.NewReader(bufio.NewReader(client), 1<<20)
+			for {
+				h, payload, err := rd.Next()
+				if err != nil {
+					return
+				}
+				if int(h.Len) != len(payload) {
+					t.Errorf("response frame Len %d != payload %d", h.Len, len(payload))
+				}
+			}
+		}()
+
+		client.SetWriteDeadline(time.Now().Add(3 * time.Second))
+		client.Write(data) // error tolerated: handler may close mid-payload
+		client.Write(wire.AppendFrame(nil, wire.Header{Opcode: wire.OpQuit, ID: 1 << 62}, nil))
+
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("tenant binary handler did not terminate")
 		}
 		client.Close()
 		<-respDone

@@ -5,9 +5,9 @@
 //
 // Protocol (one request per line, space-separated):
 //
-//	READ <block>        → OK <device> <delay-ms> <response-ms> <delayed>
-//	                    | REJECTED
-//	WRITE <block>       → same responses; updates all replicas
+//	READ <block> [tenant]  → OK <device> <delay-ms> <response-ms> <delayed>
+//	                       | REJECTED
+//	WRITE <block> [tenant] → same responses; updates all replicas
 //	MAP <block>         → MAP <designBlock> <dev0> <dev1> ...
 //	STATS               → STATS <requests> <delayed> <rejected> <avgDelay-ms>
 //	METRICS             → Prometheus-style text exposition, blank-line terminated
@@ -18,7 +18,19 @@
 //	                             rebuild_pending=<n> rebuild_done=<n>
 //	                      followed by one "DEV <i> <state> <ewma-ms>" line per
 //	                      device and a blank terminator
+//	TENANT SET <name> <reserve> <limit> <weight>
+//	                    → OK <index>          (admin: install/update a tenant live)
+//	TENANT GET <name>   → TENANT <name> index=<i> reserve=<r> limit=<l> weight=<w>
+//	                             admitted=<n> rejected=<n> overlimit=<n> deficit=<n>
+//	TENANT DEL <name>   → OK deleted          (admin: deactivate; the index stays reserved)
 //	QUIT                → connection closes
+//
+// READ/WRITE may carry a tenant name: the request is admitted under that
+// tenant's QoS policy (reservation, limit, weighted surplus share) and an
+// unknown name answers "ERR unknown tenant" — requests are never silently
+// downgraded to the untenanted path. METRICS adds per-tenant
+// flashqos_tenant_* series labelled {tenant="name"} once tenants are
+// configured.
 //
 // The admin verbs answer "ERR no health monitor" unless the served system
 // was built with a health monitor attached (core.System.NewHealthMonitor);
@@ -94,6 +106,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flashqos/internal/admission"
 	"flashqos/internal/core"
 	"flashqos/internal/health"
 	"flashqos/internal/shard"
@@ -558,20 +571,26 @@ func (s *Server) handle(conn net.Conn) {
 
 // submit runs one READ/WRITE through the shared dispatch core: virtual
 // arrival, shard routing, striped accounting, and the health monitor's
-// latency feed. Both protocol handlers call it.
-func (s *Server) submit(st *stripe, write bool, block int64, hasHealth bool) core.Outcome {
-	return s.submitAt(st, write, block, hasHealth, s.now())
+// latency feed. Both protocol handlers call it. tenant is the 1-based
+// tenant index (0 = untenanted, the byte-identical legacy path).
+func (s *Server) submit(st *stripe, write bool, block int64, tenant int32, hasHealth bool) core.Outcome {
+	return s.submitAt(st, write, block, tenant, hasHealth, s.now())
 }
 
 // submitAt is submit with the caller supplying the arrival time. The
 // binary handler stamps one arrival per socket fill — frames drained from
 // a single read genuinely arrived together — which keeps the virtual clock
 // off the per-frame path.
-func (s *Server) submitAt(st *stripe, write bool, block int64, hasHealth bool, arrival float64) core.Outcome {
+func (s *Server) submitAt(st *stripe, write bool, block int64, tenant int32, hasHealth bool, arrival float64) core.Outcome {
 	var out core.Outcome
-	if write {
+	switch {
+	case tenant != 0 && write:
+		out = s.arr.SubmitWriteTenant(arrival, block, tenant)
+	case tenant != 0:
+		out = s.arr.SubmitTenant(arrival, block, tenant)
+	case write:
 		out = s.arr.SubmitWrite(arrival, block)
-	} else {
+	default:
 		out = s.arr.Submit(arrival, block)
 	}
 	bump(&st.shard[s.arr.ShardOf(block)])
@@ -758,6 +777,30 @@ func (s *Server) appendMetrics(buf []byte, hasHealth bool) []byte {
 		buf = strconv.AppendInt(buf, int64(s.arr.System(i).EffectiveS()), 10)
 		buf = append(buf, '\n')
 	}
+	if tenants := s.arr.TenantStats(); len(tenants) > 0 {
+		appendTenantSeries := func(buf []byte, name string, value func(tc shard.TenantCounters) int64) []byte {
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, name...)
+			buf = append(buf, " counter\n"...)
+			for _, tc := range tenants {
+				buf = append(buf, name...)
+				buf = append(buf, `{tenant="`...)
+				buf = append(buf, tc.Spec.Name...)
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendInt(buf, value(tc), 10)
+				buf = append(buf, '\n')
+			}
+			return buf
+		}
+		buf = appendTenantSeries(buf, "flashqos_tenant_admitted_total",
+			func(tc shard.TenantCounters) int64 { return tc.Admitted })
+		buf = appendTenantSeries(buf, "flashqos_tenant_rejected_total",
+			func(tc shard.TenantCounters) int64 { return tc.Rejected })
+		buf = appendTenantSeries(buf, "flashqos_tenant_over_limit_total",
+			func(tc shard.TenantCounters) int64 { return tc.OverLimit })
+		buf = appendTenantSeries(buf, "flashqos_tenant_reservation_deficit_total",
+			func(tc shard.TenantCounters) int64 { return tc.Deficit })
+	}
 	if hasHealth {
 		alive, pending, done := s.healthTotals()
 		unavail, transitions := 0, int64(0)
@@ -814,8 +857,8 @@ func (s *Server) handleText(conn net.Conn, r *bufio.Reader, st *stripe) {
 		fields := strings.Fields(line)
 		switch strings.ToUpper(fields[0]) {
 		case "READ", "WRITE":
-			if len(fields) != 2 {
-				fmt.Fprintf(w, "ERR usage: %s <block>\n", strings.ToUpper(fields[0]))
+			if len(fields) != 2 && len(fields) != 3 {
+				fmt.Fprintf(w, "ERR usage: %s <block> [tenant]\n", strings.ToUpper(fields[0]))
 				break
 			}
 			block, err := strconv.ParseInt(fields[1], 10, 64)
@@ -823,7 +866,17 @@ func (s *Server) handleText(conn net.Conn, r *bufio.Reader, st *stripe) {
 				fmt.Fprintf(w, "ERR bad block: %v\n", err)
 				break
 			}
-			out := s.submit(st, strings.ToUpper(fields[0]) == "WRITE", block, hasHealth)
+			var tenant int32
+			if len(fields) == 3 {
+				// Text clients tag by name; resolution is a cold-path
+				// registry lookup. An unknown name is the same uniform
+				// refusal the binary protocol gives an unknown index.
+				if tenant = s.arr.TenantIndex(fields[2]); tenant == 0 {
+					fmt.Fprintf(w, "ERR %s\n", errUnknownTenant)
+					break
+				}
+			}
+			out := s.submit(st, strings.ToUpper(fields[0]) == "WRITE", block, tenant, hasHealth)
 			if out.Rejected {
 				fmt.Fprintln(w, "REJECTED")
 			} else {
@@ -905,6 +958,8 @@ func (s *Server) handleText(conn net.Conn, r *bufio.Reader, st *stripe) {
 				fmt.Fprintf(w, "DEV %d %s %.6f\n", g, mon.State(local), mon.EWMA(local))
 			}
 			fmt.Fprintln(w)
+		case "TENANT":
+			s.handleTenantText(w, fields)
 		case "QUIT":
 			w.Flush()
 			return
@@ -920,6 +975,65 @@ func (s *Server) handleText(conn net.Conn, r *bufio.Reader, st *stripe) {
 				return
 			}
 		}
+	}
+}
+
+// handleTenantText serves the TENANT admin verb: SET installs or updates
+// one tenant with no engine pause (the gate swaps an atomic snapshot), GET
+// reports the spec plus cross-shard aggregated gauges, DEL deactivates the
+// slot. Reconfiguration is a cold path; fmt is fine here.
+func (s *Server) handleTenantText(w io.Writer, fields []string) {
+	if len(fields) < 3 {
+		fmt.Fprintln(w, "ERR usage: TENANT SET <name> <reserve> <limit> <weight> | GET <name> | DEL <name>")
+		return
+	}
+	name := fields[2]
+	switch strings.ToUpper(fields[1]) {
+	case "SET":
+		if len(fields) != 6 {
+			fmt.Fprintln(w, "ERR usage: TENANT SET <name> <reserve> <limit> <weight>")
+			return
+		}
+		reserve, err1 := strconv.Atoi(fields[3])
+		limit, err2 := strconv.Atoi(fields[4])
+		weight, err3 := strconv.ParseFloat(fields[5], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			fmt.Fprintln(w, "ERR bad TENANT SET arguments")
+			return
+		}
+		idx, err := s.arr.TenantSet(admission.TenantSpec{
+			Name: name, Reserve: reserve, Limit: limit, Weight: weight,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "OK %d\n", idx)
+	case "GET":
+		if len(fields) != 3 {
+			fmt.Fprintln(w, "ERR usage: TENANT GET <name>")
+			return
+		}
+		tc, ok := s.arr.TenantGet(name)
+		if !ok {
+			fmt.Fprintf(w, "ERR %s\n", errUnknownTenant)
+			return
+		}
+		fmt.Fprintf(w, "TENANT %s index=%d reserve=%d limit=%d weight=%g admitted=%d rejected=%d overlimit=%d deficit=%d\n",
+			tc.Spec.Name, tc.Index, tc.Spec.Reserve, tc.Spec.Limit, tc.Spec.Weight,
+			tc.Admitted, tc.Rejected, tc.OverLimit, tc.Deficit)
+	case "DEL":
+		if len(fields) != 3 {
+			fmt.Fprintln(w, "ERR usage: TENANT DEL <name>")
+			return
+		}
+		if err := s.arr.TenantDel(name); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK deleted")
+	default:
+		fmt.Fprintf(w, "ERR unknown TENANT subcommand %q\n", fields[1])
 	}
 }
 
@@ -980,6 +1094,10 @@ type ReadResult struct {
 	RespMS   float64
 	Delayed  bool
 	Rejected bool
+	// OverLimit marks a rejection by the tenant gate's per-window arrival
+	// limit (carried by the binary protocol's status bits; the text
+	// REJECTED line does not distinguish it).
+	OverLimit bool
 }
 
 func (c *Client) roundTrip(req string) (string, error) {
@@ -999,7 +1117,22 @@ func (c *Client) roundTrip(req string) (string, error) {
 
 // Read submits a block read.
 func (c *Client) Read(block int64) (ReadResult, error) {
-	line, err := c.roundTrip(fmt.Sprintf("READ %d", block))
+	return c.submitVerb(fmt.Sprintf("READ %d", block))
+}
+
+// ReadTenant submits a block read under a named tenant's QoS policy. An
+// unknown tenant name is an error, not a silent untenanted read.
+func (c *Client) ReadTenant(block int64, tenant string) (ReadResult, error) {
+	return c.submitVerb(fmt.Sprintf("READ %d %s", block, tenant))
+}
+
+// WriteTenant submits a block write under a named tenant's QoS policy.
+func (c *Client) WriteTenant(block int64, tenant string) (ReadResult, error) {
+	return c.submitVerb(fmt.Sprintf("WRITE %d %s", block, tenant))
+}
+
+func (c *Client) submitVerb(req string) (ReadResult, error) {
+	line, err := c.roundTrip(req)
 	if err != nil {
 		return ReadResult{}, err
 	}
@@ -1013,6 +1146,106 @@ func (c *Client) Read(block int64) (ReadResult, error) {
 	}
 	r.Delayed = delayed == "true"
 	return r, nil
+}
+
+// TenantInfo is a parsed TENANT GET response: one tenant's policy plus
+// its admission gauges aggregated across every shard.
+type TenantInfo struct {
+	Name      string
+	Index     int
+	Reserve   int
+	Limit     int
+	Weight    float64
+	Admitted  int64
+	Rejected  int64
+	OverLimit int64
+	Deficit   int64
+}
+
+// TenantSet installs or updates one tenant's QoS policy live (admin) and
+// returns its stable 1-based index.
+func (c *Client) TenantSet(name string, reserve, limit int, weight float64) (int, error) {
+	line, err := c.roundTrip(fmt.Sprintf("TENANT SET %s %d %d %g", name, reserve, limit, weight))
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != "OK" {
+		return 0, fmt.Errorf("qosnet: bad TENANT SET response %q", line)
+	}
+	idx, err := strconv.Atoi(fields[1])
+	if err != nil || idx < 1 {
+		return 0, fmt.Errorf("qosnet: bad TENANT SET response %q", line)
+	}
+	return idx, nil
+}
+
+// TenantGet fetches one tenant's policy and aggregated gauges (admin).
+func (c *Client) TenantGet(name string) (TenantInfo, error) {
+	line, err := c.roundTrip(fmt.Sprintf("TENANT GET %s", name))
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 10 || fields[0] != "TENANT" {
+		return TenantInfo{}, fmt.Errorf("qosnet: bad TENANT GET response %q", line)
+	}
+	ti := TenantInfo{Name: fields[1]}
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return TenantInfo{}, fmt.Errorf("qosnet: bad TENANT GET field %q", f)
+		}
+		var perr error
+		switch k {
+		case "weight":
+			ti.Weight, perr = strconv.ParseFloat(v, 64)
+		case "index", "reserve", "limit":
+			var n int
+			if n, perr = strconv.Atoi(v); perr == nil {
+				switch k {
+				case "index":
+					ti.Index = n
+				case "reserve":
+					ti.Reserve = n
+				case "limit":
+					ti.Limit = n
+				}
+			}
+		default:
+			var n int64
+			if n, perr = strconv.ParseInt(v, 10, 64); perr == nil {
+				switch k {
+				case "admitted":
+					ti.Admitted = n
+				case "rejected":
+					ti.Rejected = n
+				case "overlimit":
+					ti.OverLimit = n
+				case "deficit":
+					ti.Deficit = n
+				default:
+					perr = fmt.Errorf("unknown field")
+				}
+			}
+		}
+		if perr != nil {
+			return TenantInfo{}, fmt.Errorf("qosnet: bad TENANT GET field %q", f)
+		}
+	}
+	return ti, nil
+}
+
+// TenantDel deactivates a tenant (admin); its index stays reserved.
+func (c *Client) TenantDel(name string) error {
+	line, err := c.roundTrip(fmt.Sprintf("TENANT DEL %s", name))
+	if err != nil {
+		return err
+	}
+	if line != "OK deleted" {
+		return fmt.Errorf("qosnet: bad TENANT DEL response %q", line)
+	}
+	return nil
 }
 
 // Map asks where a data block lives.

@@ -33,6 +33,9 @@ type Array struct {
 	// already emits global ids (the shard.New fast path), i·N when it
 	// numbers from 0 (FromSystems over plain systems).
 	translate []int
+	// tenants is the canonical tenant slot table, mirrored onto every
+	// shard's admission gate (see tenant.go).
+	tenants tenantState
 }
 
 // New builds an Array of k independent engines, each configured from cfg.

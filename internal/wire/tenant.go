@@ -1,0 +1,281 @@
+// Tenant extensions to the qosnet binary protocol.
+//
+// The tenant seam keeps the 16-byte header and every tenant-less codec
+// byte-identical: a request that carries a tenant identity sets FlagTenant
+// and appends a uvarint tenant index after the opcode's normal payload
+// (SUBMIT/WRITE: 8-byte block id, then the index). Indices are 1-based
+// slots negotiated out of band — either by name through OpTenantHello or
+// implicitly as slot order of the server's configured policy — so the hot
+// path never ships names.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tenant opcodes (continuing the Op* space; 0x0F is OpQuit).
+const (
+	OpTenantHello = 0x0D // resolve tenant names → stable 1-based indices
+	OpTenant      = 0x0E // admin: TENANT SET / GET / DEL
+	OpTenantStats = 0x10 // per-tenant specs + admission gauges
+)
+
+// FlagTenant marks a request whose payload carries a trailing uvarint
+// tenant index (see AppendTenantBlock).
+const FlagTenant = 0x02
+
+// StatusOverLimit marks a rejection by the tenant gate's per-window
+// arrival limit: the request consumed no S-bound credit.
+const StatusOverLimit = 0x08
+
+// OverLimit reports the StatusOverLimit bit.
+func (o Outcome) OverLimit() bool { return o.Status&StatusOverLimit != 0 }
+
+// Tenant admin subcommands (first payload byte of OpTenant).
+const (
+	TenantCmdSet = 1
+	TenantCmdGet = 2
+	TenantCmdDel = 3
+)
+
+// TenantSpec is the wire form of one tenant's QoS policy (the network
+// mirror of admission.TenantSpec; wire stays dependency-free).
+type TenantSpec struct {
+	Name    string
+	Reserve int32
+	Limit   int32
+	Weight  float64
+}
+
+// TenantEntry is one tenant's slice of an OpTenantStats response (and the
+// body of a TENANT GET response): the spec, its stable index, and the
+// four admission gauges.
+type TenantEntry struct {
+	Index     int32
+	Spec      TenantSpec
+	Admitted  int64
+	Rejected  int64
+	OverLimit int64
+	Deficit   int64
+}
+
+// AppendTenantBlock appends a tenant-tagged SUBMIT/WRITE request payload:
+// the 8-byte block id followed by the uvarint tenant index. The frame's
+// header must set FlagTenant.
+func AppendTenantBlock(buf []byte, block int64, tenant int32) []byte {
+	buf = AppendInt64(buf, block)
+	var tmp [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(uint32(tenant)))
+	return append(buf, tmp[:n]...)
+}
+
+// ParseTenantBlock decodes a tenant-tagged SUBMIT/WRITE request payload.
+// The uvarint must be present, in range, and consume the whole payload.
+func ParseTenantBlock(b []byte) (block int64, tenant int32, err error) {
+	if len(b) < 9 {
+		return 0, 0, ErrShortPayload
+	}
+	block = int64(binary.LittleEndian.Uint64(b))
+	u, n := binary.Uvarint(b[8:])
+	if n <= 0 || n != len(b)-8 {
+		return 0, 0, fmt.Errorf("wire: malformed tenant index")
+	}
+	if u == 0 || u > uint64(1)<<31-1 {
+		return 0, 0, fmt.Errorf("wire: tenant index %d out of range", u)
+	}
+	return block, int32(u), nil
+}
+
+// appendString appends a length-prefixed (one byte) string, truncating at
+// 255 bytes like the HEALTH state codec.
+func appendString(buf []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...)
+}
+
+func parseString(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", b, ErrShortPayload
+	}
+	n := int(b[0])
+	if len(b) < 1+n {
+		return "", b, ErrShortPayload
+	}
+	return string(b[1 : 1+n]), b[1+n:], nil
+}
+
+// AppendTenantHelloReq appends an OpTenantHello request payload: a name
+// count, then each name length-prefixed.
+func AppendTenantHelloReq(buf []byte, names []string) []byte {
+	buf = AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = appendString(buf, n)
+	}
+	return buf
+}
+
+// ParseTenantHelloReq decodes an OpTenantHello request payload.
+func ParseTenantHelloReq(b []byte) ([]string, error) {
+	n, b, err := parseU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(b)) { // each name is at least 1 byte
+		return nil, ErrShortPayload
+	}
+	names := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s string
+		if s, b, err = parseString(b); err != nil {
+			return nil, err
+		}
+		names = append(names, s)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after TENANT hello", len(b))
+	}
+	return names, nil
+}
+
+// AppendTenantHelloResp appends an OpTenantHello response payload: one
+// int32 index per requested name, in request order (0 = unknown tenant).
+func AppendTenantHelloResp(buf []byte, idx []int32) []byte {
+	buf = AppendUint32(buf, uint32(len(idx)))
+	for _, i := range idx {
+		buf = AppendInt32(buf, i)
+	}
+	return buf
+}
+
+// ParseTenantHelloResp decodes an OpTenantHello response payload.
+func ParseTenantHelloResp(b []byte) ([]int32, error) {
+	n, b, err := parseU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) != uint64(n)*4 {
+		return nil, ErrShortPayload
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return idx, nil
+}
+
+// AppendTenantReq appends an OpTenant request payload: the subcommand
+// byte, the tenant name, and for TenantCmdSet the spec fields.
+func AppendTenantReq(buf []byte, cmd uint8, spec TenantSpec) []byte {
+	buf = append(buf, cmd)
+	buf = appendString(buf, spec.Name)
+	if cmd == TenantCmdSet {
+		buf = AppendInt32(buf, spec.Reserve)
+		buf = AppendInt32(buf, spec.Limit)
+		buf = AppendFloat64(buf, spec.Weight)
+	}
+	return buf
+}
+
+// ParseTenantReq decodes an OpTenant request payload.
+func ParseTenantReq(b []byte) (cmd uint8, spec TenantSpec, err error) {
+	if len(b) < 1 {
+		return 0, TenantSpec{}, ErrShortPayload
+	}
+	cmd = b[0]
+	b = b[1:]
+	if spec.Name, b, err = parseString(b); err != nil {
+		return 0, TenantSpec{}, err
+	}
+	switch cmd {
+	case TenantCmdSet:
+		if len(b) != 16 {
+			return 0, TenantSpec{}, ErrShortPayload
+		}
+		spec.Reserve = int32(binary.LittleEndian.Uint32(b))
+		spec.Limit = int32(binary.LittleEndian.Uint32(b[4:]))
+		spec.Weight, _, _ = parseF64(b[8:])
+	case TenantCmdGet, TenantCmdDel:
+		if len(b) != 0 {
+			return 0, TenantSpec{}, fmt.Errorf("wire: %d trailing bytes after TENANT request", len(b))
+		}
+	default:
+		return 0, TenantSpec{}, fmt.Errorf("wire: unknown TENANT subcommand %d", cmd)
+	}
+	return cmd, spec, nil
+}
+
+// AppendTenantEntry appends one TenantEntry: index int32, name, spec
+// fields, four gauges.
+func AppendTenantEntry(buf []byte, e TenantEntry) []byte {
+	buf = AppendInt32(buf, e.Index)
+	buf = appendString(buf, e.Spec.Name)
+	buf = AppendInt32(buf, e.Spec.Reserve)
+	buf = AppendInt32(buf, e.Spec.Limit)
+	buf = AppendFloat64(buf, e.Spec.Weight)
+	buf = AppendInt64(buf, e.Admitted)
+	buf = AppendInt64(buf, e.Rejected)
+	buf = AppendInt64(buf, e.OverLimit)
+	return AppendInt64(buf, e.Deficit)
+}
+
+// ParseTenantEntry decodes one TenantEntry, returning the remaining
+// bytes.
+func ParseTenantEntry(b []byte) (TenantEntry, []byte, error) {
+	var e TenantEntry
+	u, b, err := parseU32(b)
+	if err != nil {
+		return TenantEntry{}, b, err
+	}
+	e.Index = int32(u)
+	if e.Spec.Name, b, err = parseString(b); err != nil {
+		return TenantEntry{}, b, err
+	}
+	if len(b) < 48 {
+		return TenantEntry{}, b, ErrShortPayload
+	}
+	e.Spec.Reserve = int32(binary.LittleEndian.Uint32(b))
+	e.Spec.Limit = int32(binary.LittleEndian.Uint32(b[4:]))
+	e.Spec.Weight, _, _ = parseF64(b[8:])
+	e.Admitted = int64(binary.LittleEndian.Uint64(b[16:]))
+	e.Rejected = int64(binary.LittleEndian.Uint64(b[24:]))
+	e.OverLimit = int64(binary.LittleEndian.Uint64(b[32:]))
+	e.Deficit = int64(binary.LittleEndian.Uint64(b[40:]))
+	return e, b[48:], nil
+}
+
+// AppendTenantStats appends an OpTenantStats (or TENANT GET, count 1)
+// response payload: a count then the entries.
+func AppendTenantStats(buf []byte, entries []TenantEntry) []byte {
+	buf = AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = AppendTenantEntry(buf, e)
+	}
+	return buf
+}
+
+// ParseTenantStats decodes an OpTenantStats response payload.
+func ParseTenantStats(b []byte) ([]TenantEntry, error) {
+	n, b, err := parseU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(b))/53 { // each entry is at least 53 bytes
+		return nil, ErrShortPayload
+	}
+	entries := make([]TenantEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var e TenantEntry
+		if e, b, err = ParseTenantEntry(b); err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after TENANT stats", len(b))
+	}
+	return entries, nil
+}

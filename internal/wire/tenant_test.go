@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestTenantBlockRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		block  int64
+		tenant int32
+	}{
+		{0, 1}, {42, 1}, {-7, 127}, {1 << 40, 128}, {9, 1<<31 - 1},
+	} {
+		b := AppendTenantBlock(nil, c.block, c.tenant)
+		block, tenant, err := ParseTenantBlock(b)
+		if err != nil || block != c.block || tenant != c.tenant {
+			t.Fatalf("round trip (%d,%d): got (%d,%d,%v)", c.block, c.tenant, block, tenant, err)
+		}
+	}
+	// The tenant-less payload stays exactly 8 bytes and ParseBlock still
+	// rejects anything else — the 0-alloc codecs are untouched.
+	if len(AppendBlock(nil, 1)) != 8 {
+		t.Fatal("AppendBlock grew")
+	}
+	if _, err := ParseBlock(AppendTenantBlock(nil, 1, 2)); err == nil {
+		t.Fatal("ParseBlock accepted a tenant-tagged payload")
+	}
+}
+
+func TestTenantBlockMalformed(t *testing.T) {
+	for name, b := range map[string][]byte{
+		"short":          AppendBlock(nil, 1),
+		"zero index":     append(AppendBlock(nil, 1), 0),
+		"trailing bytes": append(AppendTenantBlock(nil, 1, 2), 9),
+		"huge index":     append(AppendBlock(nil, 1), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+		"unterminated":   append(AppendBlock(nil, 1), 0x80),
+	} {
+		if _, _, err := ParseTenantBlock(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTenantHelloRoundTrip(t *testing.T) {
+	names := []string{"alpha", "beta", ""}
+	got, err := ParseTenantHelloReq(AppendTenantHelloReq(nil, names))
+	if err != nil || !reflect.DeepEqual(got, names) {
+		t.Fatalf("hello req: %v %v", got, err)
+	}
+	idx := []int32{1, 0, 7}
+	gi, err := ParseTenantHelloResp(AppendTenantHelloResp(nil, idx))
+	if err != nil || !reflect.DeepEqual(gi, idx) {
+		t.Fatalf("hello resp: %v %v", gi, err)
+	}
+	if _, err := ParseTenantHelloReq(append(AppendTenantHelloReq(nil, names), 1)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTenantReqRoundTrip(t *testing.T) {
+	set := TenantSpec{Name: "alpha", Reserve: 3, Limit: 12, Weight: 2.5}
+	cmd, spec, err := ParseTenantReq(AppendTenantReq(nil, TenantCmdSet, set))
+	if err != nil || cmd != TenantCmdSet || spec != set {
+		t.Fatalf("SET round trip: %d %+v %v", cmd, spec, err)
+	}
+	for _, c := range []uint8{TenantCmdGet, TenantCmdDel} {
+		cmd, spec, err := ParseTenantReq(AppendTenantReq(nil, c, TenantSpec{Name: "x"}))
+		if err != nil || cmd != c || spec.Name != "x" {
+			t.Fatalf("cmd %d round trip: %d %+v %v", c, cmd, spec, err)
+		}
+	}
+	if _, _, err := ParseTenantReq([]byte{9, 1, 'x'}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if _, _, err := ParseTenantReq(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, _, err := ParseTenantReq(append(AppendTenantReq(nil, TenantCmdDel, TenantSpec{Name: "x"}), 1)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTenantStatsRoundTrip(t *testing.T) {
+	entries := []TenantEntry{
+		{Index: 1, Spec: TenantSpec{Name: "alpha", Reserve: 3, Limit: 0, Weight: 3},
+			Admitted: 900, Rejected: 1100, OverLimit: 5, Deficit: 1},
+		{Index: 3, Spec: TenantSpec{Name: "beta", Reserve: 1, Limit: 9, Weight: 1}},
+	}
+	got, err := ParseTenantStats(AppendTenantStats(nil, entries))
+	if err != nil || !reflect.DeepEqual(got, entries) {
+		t.Fatalf("stats round trip: %+v %v", got, err)
+	}
+	if _, err := ParseTenantStats(AppendUint32(nil, 1<<30)); err == nil {
+		t.Fatal("lying count accepted")
+	}
+	if _, err := ParseTenantStats(append(AppendTenantStats(nil, entries), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestOutcomeOverLimitBit(t *testing.T) {
+	o := Outcome{Status: StatusRejected | StatusOverLimit}
+	if !o.Rejected() || !o.OverLimit() || o.Delayed() {
+		t.Fatalf("status bits: %+v", o)
+	}
+	parsed, _, err := ParseOutcome(AppendOutcome(nil, o))
+	if err != nil || parsed != o {
+		t.Fatalf("round trip: %+v %v", parsed, err)
+	}
+}
+
+// FuzzDecodeTenantFrame drives the tenant codecs with arbitrary bytes
+// (through the frame reader like FuzzDecodeFrame): no parser may panic,
+// and every accepted value must be internally consistent.
+func FuzzDecodeTenantFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Header{Opcode: OpSubmit, ID: 1, Flags: FlagTenant},
+		AppendTenantBlock(nil, 42, 3)))
+	f.Add(AppendFrame(nil, Header{Opcode: OpTenantHello, ID: 2},
+		AppendTenantHelloReq(nil, []string{"alpha", "beta"})))
+	f.Add(AppendFrame(nil, Header{Opcode: OpTenant, ID: 3},
+		AppendTenantReq(nil, TenantCmdSet, TenantSpec{Name: "a", Reserve: 2, Limit: 8, Weight: 1})))
+	f.Add(AppendFrame(nil, Header{Opcode: OpTenant, ID: 4},
+		AppendTenantReq(nil, TenantCmdDel, TenantSpec{Name: "a"})))
+	f.Add(AppendFrame(nil, Header{Opcode: OpTenantStats, ID: 5},
+		AppendTenantStats(nil, []TenantEntry{{Index: 1, Spec: TenantSpec{Name: "a", Weight: 1}}})))
+	// Malformed: zero index, truncated varint, lying hello count.
+	f.Add(AppendFrame(nil, Header{Opcode: OpSubmit, ID: 6, Flags: FlagTenant},
+		append(AppendBlock(nil, 1), 0)))
+	f.Add(AppendFrame(nil, Header{Opcode: OpSubmit, ID: 7, Flags: FlagTenant},
+		append(AppendBlock(nil, 1), 0x80)))
+	f.Add(AppendFrame(nil, Header{Opcode: OpTenantHello, ID: 8}, AppendUint32(nil, 1<<29)))
+
+	const maxPayload = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bufio.NewReaderSize(bytes.NewReader(data), 512), maxPayload)
+		for {
+			_, payload, err := rd.Next()
+			if err != nil {
+				return
+			}
+			if block, tenant, err := ParseTenantBlock(payload); err == nil {
+				if tenant < 1 {
+					t.Fatalf("accepted tenant index %d (block %d)", tenant, block)
+				}
+			}
+			ParseTenantHelloReq(payload)
+			if idx, err := ParseTenantHelloResp(payload); err == nil && uint64(len(idx))*4+4 != uint64(len(payload)) {
+				t.Fatalf("hello resp parsed %d indices from %d bytes", len(idx), len(payload))
+			}
+			if cmd, spec, err := ParseTenantReq(payload); err == nil {
+				if cmd != TenantCmdSet && cmd != TenantCmdGet && cmd != TenantCmdDel {
+					t.Fatalf("accepted subcommand %d", cmd)
+				}
+				if len(spec.Name) > 255 {
+					t.Fatalf("tenant name of %d bytes", len(spec.Name))
+				}
+			}
+			if entries, err := ParseTenantStats(payload); err == nil {
+				for _, e := range entries {
+					if len(e.Spec.Name) > 255 {
+						t.Fatalf("stats name of %d bytes", len(e.Spec.Name))
+					}
+				}
+			}
+		}
+	})
+}
